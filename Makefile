@@ -1,0 +1,45 @@
+# Standard workflows for the siphoc repository.
+
+GO ?= go
+
+.PHONY: all build test race cover bench fuzz experiments examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Brief fuzzing pass over every fuzz target (extend -fuzztime for real
+# campaigns; the committed corpora under testdata/fuzz run as normal tests).
+fuzz:
+	$(GO) test ./internal/sip/ -run XXX -fuzz FuzzParse$$ -fuzztime 30s
+	$(GO) test ./internal/sdp/ -run XXX -fuzz FuzzParse$$ -fuzztime 15s
+	$(GO) test ./internal/slp/ -run XXX -fuzz FuzzParsePayload$$ -fuzztime 15s
+	$(GO) test ./internal/routing/ -run XXX -fuzz FuzzParseEnvelope$$ -fuzztime 15s
+	$(GO) test ./internal/netem/ -run XXX -fuzz FuzzUnmarshalDatagram$$ -fuzztime 15s
+
+# Regenerate every figure/claim of the paper (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/experiments -run all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/interop
+	$(GO) run ./examples/campus
+	$(GO) run ./examples/emergency
+
+clean:
+	$(GO) clean ./...

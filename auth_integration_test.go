@@ -1,0 +1,95 @@
+package siphoc
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAuthenticatingProvider exercises RFC 2617 digest authentication end
+// to end: the provider challenges REGISTERs; the proxy answers upstream
+// challenges with provisioned credentials; the Internet-side phone answers
+// with its own password; wrong credentials stay out.
+func TestAuthenticatingProvider(t *testing.T) {
+	sc, err := NewScenario(ScenarioConfig{Internet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	prov, err := sc.AddProvider(ProviderConfig{Domain: domain, RequireAuth: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov.AddAccountWithPassword("alice", "wonderland")
+	prov.AddAccountWithPassword("carol", "xmaskey")
+
+	if _, err := sc.AddNode("10.0.0.1", Position{}, WithGateway()); err != nil {
+		t.Fatal(err)
+	}
+	node, err := sc.AddNode("10.0.0.2", Position{X: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.WaitAttached(node, 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Internet-side phone with the right password registers directly.
+	carol, err := sc.AddInternetPhone("carol", domain, "ua.carol.net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := carol.Register(); err == nil {
+		t.Fatal("passwordless registration accepted by authenticating provider")
+	}
+	carolAuthed, err := sc.AddInternetPhoneWithPassword("carol", "xmaskey", domain, "ua.carol2.net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := carolAuthed.Register(); err != nil {
+		t.Fatalf("authenticated registration failed: %v", err)
+	}
+	if prov.Stats().Challenged == 0 {
+		t.Fatal("provider never issued a challenge")
+	}
+
+	// MANET-side: the proxy needs provisioned credentials for alice.
+	alice := registerPhone(t, node, "alice")
+	_ = alice
+	aor := "alice@" + domain
+	// Without credentials the upstream registration fails with 401.
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) && node.Proxy().UpstreamStatus(aor) == 0 {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if code := node.Proxy().UpstreamStatus(aor); code != 401 {
+		t.Fatalf("upstream status without credentials = %d, want 401", code)
+	}
+	// Provision the credentials and re-register.
+	node.Proxy().SetUpstreamCredentials(aor, "alice", "wonderland")
+	if err := alice.Register(); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) && node.Proxy().UpstreamStatus(aor) != 200 {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if code := node.Proxy().UpstreamStatus(aor); code != 200 {
+		t.Fatalf("upstream status with credentials = %d, want 200", code)
+	}
+	if _, ok := prov.Binding(aor); !ok {
+		t.Fatal("authenticated upstream binding missing at the provider")
+	}
+
+	// Wrong password is rejected.
+	node.Proxy().SetUpstreamCredentials(aor, "alice", "wrong")
+	if err := alice.Register(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(500 * time.Millisecond)
+	if code := node.Proxy().UpstreamStatus(aor); code == 200 {
+		// The last attempt must not have succeeded with a bad password;
+		// note the earlier good binding may still be cached at the
+		// provider, which is fine — we check the status, not the binding.
+		t.Fatalf("upstream status with wrong password = %d", code)
+	}
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunSmallChain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full simulation")
+	}
+	if err := run([]string{"-nodes", "3", "-calls", "2", "-talk", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGridOLSR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full simulation")
+	}
+	if err := run([]string{"-nodes", "4", "-topology", "grid", "-routing", "olsr", "-calls", "2", "-talk", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-routing", "ospf"}); err == nil {
+		t.Fatal("unknown routing accepted")
+	}
+	if err := run([]string{"-topology", "torus"}); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -1,0 +1,141 @@
+// Command siphocd runs one headless SIPHoc MANET node as a real network
+// daemon over UDP: routing protocol, MANET SLP, Connection Provider, SIP
+// proxy — and optionally a Gateway Provider with an in-process Internet.
+//
+// A three-node chain on loopback, with the last node a gateway hosting a
+// SIP provider:
+//
+//	siphocd -id 10.0.0.1 -listen 127.0.0.1:7001 -peer 10.0.0.2=127.0.0.1:7002
+//	siphocd -id 10.0.0.2 -listen 127.0.0.1:7002 -peer 10.0.0.1=127.0.0.1:7001 -peer 10.0.0.3=127.0.0.1:7003
+//	siphocd -id 10.0.0.3 -listen 127.0.0.1:7003 -peer 10.0.0.2=127.0.0.1:7002 \
+//	        -gateway -provider voicehoc.ch=alice,bob
+//
+// Softphones then join the MANET with cmd/softphone.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"siphoc/internal/daemon"
+	"siphoc/internal/netem"
+)
+
+type peerList map[netem.NodeID]string
+
+func (p peerList) String() string { return fmt.Sprint(map[netem.NodeID]string(p)) }
+
+func (p peerList) Set(v string) error {
+	id, addr, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("peer must be id=udpaddr, got %q", v)
+	}
+	p[netem.NodeID(id)] = addr
+	return nil
+}
+
+type credentialList []credential
+
+type credential struct {
+	aor, user, pass string
+}
+
+func (c *credentialList) String() string { return fmt.Sprintf("%d credential(s)", len(*c)) }
+
+func (c *credentialList) Set(v string) error {
+	aor, userpass, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("credential must be aor=user:password, got %q", v)
+	}
+	user, pass, ok := strings.Cut(userpass, ":")
+	if !ok {
+		return fmt.Errorf("credential must be aor=user:password, got %q", v)
+	}
+	*c = append(*c, credential{aor: aor, user: user, pass: pass})
+	return nil
+}
+
+type providerList []daemon.ProviderSpec
+
+func (p *providerList) String() string { return fmt.Sprint([]daemon.ProviderSpec(*p)) }
+
+func (p *providerList) Set(v string) error {
+	domain, accts, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("provider must be domain=user1,user2, got %q", v)
+	}
+	*p = append(*p, daemon.ProviderSpec{Domain: domain, Accounts: strings.Split(accts, ",")})
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "siphocd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("siphocd", flag.ContinueOnError)
+	peers := peerList{}
+	var providers providerList
+	var (
+		id      = fs.String("id", "", "node id, e.g. 10.0.0.1 (required)")
+		listen  = fs.String("listen", "127.0.0.1:0", "UDP address of the MANET link layer")
+		routing = fs.String("routing", "aodv", "aodv | olsr")
+		fast    = fs.Bool("fast", false, "use fast (simulation-scale) protocol timers")
+		gateway = fs.Bool("gateway", false, "run a Gateway Provider with an in-process Internet")
+		status  = fs.Duration("status", 10*time.Second, "status report interval (0 disables)")
+	)
+	var credentials credentialList
+	fs.Var(peers, "peer", "neighbour as id=udpaddr (repeatable)")
+	fs.Var(&providers, "provider", "gateway-hosted SIP provider as domain=user1,user2 (repeatable)")
+	fs.Var(&credentials, "credential", "upstream digest credentials as aor=user:password (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("-id is required")
+	}
+	d, err := daemon.Start(daemon.Config{
+		ID:        netem.NodeID(*id),
+		Listen:    *listen,
+		Peers:     peers,
+		Routing:   *routing,
+		Fast:      *fast,
+		Gateway:   *gateway,
+		Providers: providers,
+	})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	for _, c := range credentials {
+		d.Proxy().SetUpstreamCredentials(c.aor, c.user, c.pass)
+	}
+	fmt.Printf("siphocd: node %s up (%s routing, gateway=%v), %d peer(s)\n",
+		*id, strings.ToUpper(*routing), *gateway, len(peers))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	var tick <-chan time.Time
+	if *status > 0 {
+		t := time.NewTicker(*status)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-sig:
+			fmt.Println("siphocd: shutting down")
+			return nil
+		case <-tick:
+			fmt.Print(d.Status())
+		}
+	}
+}

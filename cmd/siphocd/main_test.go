@@ -1,0 +1,61 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestPeerListParsing(t *testing.T) {
+	p := peerList{}
+	if err := p.Set("10.0.0.2=127.0.0.1:7002"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Set("10.0.0.3=127.0.0.1:7003"); err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 2 || p["10.0.0.2"] != "127.0.0.1:7002" {
+		t.Fatalf("peers = %v", p)
+	}
+	if err := p.Set("missing-equals"); err == nil {
+		t.Fatal("malformed peer accepted")
+	}
+	if p.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestProviderListParsing(t *testing.T) {
+	var p providerList
+	if err := p.Set("voicehoc.ch=alice,bob"); err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 1 || p[0].Domain != "voicehoc.ch" || len(p[0].Accounts) != 2 {
+		t.Fatalf("providers = %+v", p)
+	}
+	if err := p.Set("nodomain"); err == nil {
+		t.Fatal("malformed provider accepted")
+	}
+}
+
+func TestCredentialListParsing(t *testing.T) {
+	var c credentialList
+	if err := c.Set("alice@voicehoc.ch=alice:wonderland"); err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 1 || c[0].aor != "alice@voicehoc.ch" || c[0].user != "alice" || c[0].pass != "wonderland" {
+		t.Fatalf("credentials = %+v", c)
+	}
+	for _, bad := range []string{"no-equals", "aor=nopass"} {
+		if err := c.Set(bad); err == nil {
+			t.Fatalf("malformed credential %q accepted", bad)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-listen", "127.0.0.1:0"}); err == nil {
+		t.Fatal("missing -id accepted")
+	}
+	if err := run([]string{"-id", "x", "-bogus"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -1,0 +1,190 @@
+// Command softphone is an interactive VoIP phone on a full SIPHoc node (the
+// iPAQ deployment of the paper: the whole service set plus the phone on one
+// device), joining a multi-process MANET over UDP.
+//
+//	softphone -id 10.0.0.4 -listen 127.0.0.1:7004 \
+//	          -peer 10.0.0.2=127.0.0.1:7002 -user alice -domain voicehoc.ch
+//
+// Commands on stdin: register | call <aor> | answer | reject | hangup |
+// status | quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"siphoc/internal/daemon"
+	"siphoc/internal/netem"
+	"siphoc/internal/voip"
+)
+
+type peerList map[netem.NodeID]string
+
+func (p peerList) String() string { return fmt.Sprint(map[netem.NodeID]string(p)) }
+
+func (p peerList) Set(v string) error {
+	id, addr, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("peer must be id=udpaddr, got %q", v)
+	}
+	p[netem.NodeID(id)] = addr
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "softphone:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("softphone", flag.ContinueOnError)
+	peers := peerList{}
+	var (
+		id      = fs.String("id", "", "node id (required)")
+		listen  = fs.String("listen", "127.0.0.1:0", "UDP address of the MANET link layer")
+		routing = fs.String("routing", "aodv", "aodv | olsr")
+		fast    = fs.Bool("fast", true, "use fast protocol timers (default for interactive use)")
+		user    = fs.String("user", "", "SIP user (required)")
+		domain  = fs.String("domain", "voicehoc.ch", "SIP domain")
+		auto    = fs.Bool("autoanswer", false, "answer incoming calls automatically")
+	)
+	fs.Var(peers, "peer", "neighbour as id=udpaddr (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" || *user == "" {
+		return fmt.Errorf("-id and -user are required")
+	}
+	d, err := daemon.Start(daemon.Config{
+		ID: netem.NodeID(*id), Listen: *listen, Peers: peers,
+		Routing: *routing, Fast: *fast,
+	})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	ph, err := d.NewPhone(*user, *domain, *auto)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("softphone: %s@%s on node %s (outbound proxy: local SIPHoc proxy)\n", *user, *domain, *id)
+	fmt.Println("softphone: commands: register | call <aor> | answer | reject | hangup | status | quit")
+
+	var (
+		mu      sync.Mutex
+		current *voip.Call
+		ringing *voip.Call
+	)
+	go func() {
+		for inc := range ph.Incoming() {
+			mu.Lock()
+			ringing = inc
+			mu.Unlock()
+			fmt.Printf("\nsoftphone: *** RING *** incoming call %s (answer/reject)\n> ", inc.ID())
+		}
+	}()
+
+	in := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for in.Scan() {
+		fields := strings.Fields(in.Text())
+		if len(fields) == 0 {
+			fmt.Print("> ")
+			continue
+		}
+		switch fields[0] {
+		case "register":
+			if err := ph.Register(); err != nil {
+				fmt.Println("softphone: register failed:", err)
+			} else {
+				fmt.Println("softphone: registered", ph.AOR())
+			}
+		case "call":
+			if len(fields) != 2 {
+				fmt.Println("softphone: usage: call <aor>")
+				break
+			}
+			call, err := ph.Dial(fields[1])
+			if err != nil {
+				fmt.Println("softphone: dial failed:", err)
+				break
+			}
+			mu.Lock()
+			current = call
+			mu.Unlock()
+			go func() {
+				if err := call.WaitEstablished(30 * time.Second); err != nil {
+					fmt.Printf("\nsoftphone: call failed: %v\n> ", err)
+					return
+				}
+				fmt.Printf("\nsoftphone: call established in %v; streaming voice\n> ",
+					call.SetupDuration().Round(time.Millisecond))
+				call.SendVoice(250) // ~5 seconds of audio
+			}()
+		case "answer":
+			mu.Lock()
+			c := ringing
+			if c != nil {
+				current, ringing = c, nil
+			}
+			mu.Unlock()
+			if c == nil {
+				fmt.Println("softphone: no ringing call")
+				break
+			}
+			if err := c.Answer(); err != nil {
+				fmt.Println("softphone: answer failed:", err)
+			} else {
+				fmt.Println("softphone: answered")
+			}
+		case "reject":
+			mu.Lock()
+			c := ringing
+			ringing = nil
+			mu.Unlock()
+			if c == nil {
+				fmt.Println("softphone: no ringing call")
+				break
+			}
+			_ = c.Reject(0)
+			fmt.Println("softphone: rejected")
+		case "hangup":
+			mu.Lock()
+			c := current
+			current = nil
+			mu.Unlock()
+			if c == nil {
+				fmt.Println("softphone: no active call")
+				break
+			}
+			if err := c.Hangup(); err != nil {
+				fmt.Println("softphone: hangup failed:", err)
+			} else {
+				st := c.MediaStats()
+				fmt.Printf("softphone: call ended; received %d frames, loss %.1f%%, MOS %.2f\n",
+					st.Received, st.LossRate*100, st.MOS)
+			}
+		case "status":
+			fmt.Print(d.Status())
+			mu.Lock()
+			if current != nil {
+				fmt.Printf("softphone: call %s state=%s media=%+v\n",
+					current.ID(), current.State(), current.MediaStats())
+			}
+			mu.Unlock()
+		case "quit", "exit":
+			return nil
+		default:
+			fmt.Println("softphone: unknown command", fields[0])
+		}
+		fmt.Print("> ")
+	}
+	return in.Err()
+}

@@ -1,0 +1,3 @@
+module siphoc
+
+go 1.24

@@ -1,0 +1,94 @@
+package floodreg
+
+import (
+	"testing"
+	"time"
+
+	"siphoc/internal/netem"
+)
+
+func simConfig() Config {
+	return Config{Interval: 50 * time.Millisecond}
+}
+
+func buildChain(t *testing.T, n int) (*netem.Network, []*Agent) {
+	t.Helper()
+	net := netem.NewNetwork(netem.Config{BaseDelay: 100 * time.Microsecond})
+	t.Cleanup(net.Close)
+	hosts, err := netem.Chain(net, n, 90, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agents := make([]*Agent, n)
+	for i, h := range hosts {
+		agents[i] = New(h, simConfig())
+		if err := agents[i].Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(agents[i].Stop)
+	}
+	return net, agents
+}
+
+func TestFloodPropagatesBindings(t *testing.T) {
+	_, agents := buildChain(t, 5)
+	agents[0].Register("alice@voicehoc.ch", "f.1:5060")
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if addr, ok := agents[4].Lookup("alice@voicehoc.ch"); ok {
+			if addr != "f.1:5060" {
+				t.Fatalf("addr = %q", addr)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("binding never reached the far node")
+}
+
+func TestLookupMissAndLocalHit(t *testing.T) {
+	_, agents := buildChain(t, 2)
+	if _, ok := agents[0].Lookup("ghost@x"); ok {
+		t.Fatal("lookup hit for unknown AOR")
+	}
+	agents[0].Register("me@x", "f.1:5060")
+	if addr, ok := agents[0].Lookup("me@x"); !ok || addr != "f.1:5060" {
+		t.Fatalf("local lookup = %q %v", addr, ok)
+	}
+}
+
+func TestBindingExpires(t *testing.T) {
+	net, agents := buildChain(t, 2)
+	agents[0].Register("alice@x", "f.1:5060")
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, ok := agents[1].Lookup("alice@x"); ok {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Partition the nodes; refreshes stop arriving and the binding ages out.
+	net.SetLink("f.1", "f.2", false)
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, ok := agents[1].Lookup("alice@x"); !ok {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("binding never expired after partition")
+}
+
+func TestOverheadScalesWithTime(t *testing.T) {
+	net, agents := buildChain(t, 3)
+	agents[0].Register("alice@x", "f.1:5060")
+	net.ResetStats()
+	time.Sleep(300 * time.Millisecond)
+	early := net.Stats().ServiceFrames
+	time.Sleep(300 * time.Millisecond)
+	late := net.Stats().ServiceFrames
+	// Flooding never stops — the inefficiency the paper calls out.
+	if late <= early {
+		t.Fatalf("flood traffic stalled: %d then %d", early, late)
+	}
+}

@@ -1,0 +1,103 @@
+package picosip
+
+import (
+	"testing"
+	"time"
+
+	"siphoc/internal/netem"
+)
+
+func simConfig() Config {
+	return Config{HelloInterval: 40 * time.Millisecond}
+}
+
+func buildChain(t *testing.T, n int) (*netem.Network, []*Agent) {
+	t.Helper()
+	net := netem.NewNetwork(netem.Config{BaseDelay: 100 * time.Microsecond})
+	t.Cleanup(net.Close)
+	hosts, err := netem.Chain(net, n, 90, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agents := make([]*Agent, n)
+	for i, h := range hosts {
+		agents[i] = New(h, simConfig())
+		if err := agents[i].Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(agents[i].Stop)
+	}
+	return net, agents
+}
+
+func TestMappingGossipsAcrossChain(t *testing.T) {
+	_, agents := buildChain(t, 4)
+	agents[0].Register("alice@x", "p.1:5060")
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if addr, ok := agents[3].Lookup("alice@x"); ok {
+			if addr != "p.1:5060" {
+				t.Fatalf("addr = %q", addr)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("mapping never gossiped to the far node")
+}
+
+func TestEveryNodeCarriesFullTable(t *testing.T) {
+	_, agents := buildChain(t, 4)
+	for i, a := range agents {
+		a.Register("user"+string(rune('a'+i))+"@x", "p:1")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		full := true
+		for _, a := range agents {
+			if a.TableSize() < len(agents)-1 {
+				full = false
+				break
+			}
+		}
+		if full {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("not every node learned every mapping")
+}
+
+func TestStandingOverheadWithoutCalls(t *testing.T) {
+	net, agents := buildChain(t, 3)
+	agents[0].Register("alice@x", "p.1:5060")
+	net.ResetStats()
+	time.Sleep(300 * time.Millisecond)
+	st := net.Stats()
+	// Pro-active HELLOs keep flowing even though nobody ever looks
+	// anything up — the resource waste the paper criticizes.
+	if st.ServiceFrames < 10 {
+		t.Fatalf("expected standing HELLO traffic, got %d frames", st.ServiceFrames)
+	}
+}
+
+func TestMappingExpires(t *testing.T) {
+	net, agents := buildChain(t, 2)
+	agents[0].Register("alice@x", "p.1:5060")
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, ok := agents[1].Lookup("alice@x"); ok {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	net.SetLink("p.1", "p.2", false)
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, ok := agents[1].Lookup("alice@x"); !ok {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("mapping never expired after partition")
+}

@@ -1,0 +1,118 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2007, 11, 26, 0, 0, 0, 0, time.UTC) // MNCNA'07 day
+
+func TestFakeNowAdvance(t *testing.T) {
+	f := NewFake(epoch)
+	if got := f.Now(); !got.Equal(epoch) {
+		t.Fatalf("Now() = %v, want %v", got, epoch)
+	}
+	f.Advance(90 * time.Second)
+	if got, want := f.Now(), epoch.Add(90*time.Second); !got.Equal(want) {
+		t.Fatalf("Now() after Advance = %v, want %v", got, want)
+	}
+}
+
+func TestFakeTimerFiresAtDeadline(t *testing.T) {
+	f := NewFake(epoch)
+	tm := f.NewTimer(10 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+	f.Advance(9 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired too early")
+	default:
+	}
+	f.Advance(1 * time.Second)
+	select {
+	case at := <-tm.C():
+		if want := epoch.Add(10 * time.Second); !at.Equal(want) {
+			t.Fatalf("fired at %v, want %v", at, want)
+		}
+	default:
+		t.Fatal("timer did not fire at deadline")
+	}
+}
+
+func TestFakeTimerOrdering(t *testing.T) {
+	f := NewFake(epoch)
+	t1 := f.NewTimer(3 * time.Second)
+	t2 := f.NewTimer(1 * time.Second)
+	t3 := f.NewTimer(2 * time.Second)
+	f.Advance(5 * time.Second)
+	at1, at2, at3 := <-t1.C(), <-t2.C(), <-t3.C()
+	if !at2.Before(at3) || !at3.Before(at1) {
+		t.Fatalf("firing order wrong: t1=%v t2=%v t3=%v", at1, at2, at3)
+	}
+}
+
+func TestFakeStopPreventsFire(t *testing.T) {
+	f := NewFake(epoch)
+	tm := f.NewTimer(time.Second)
+	if !tm.Stop() {
+		t.Fatal("Stop() = false for pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop() = true")
+	}
+	f.Advance(2 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+	if n := f.PendingTimers(); n != 0 {
+		t.Fatalf("PendingTimers() = %d, want 0", n)
+	}
+}
+
+func TestFakeZeroDurationFiresImmediately(t *testing.T) {
+	f := NewFake(epoch)
+	tm := f.NewTimer(0)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("zero-duration timer did not fire immediately")
+	}
+}
+
+func TestFakeSet(t *testing.T) {
+	f := NewFake(epoch)
+	ch := f.After(time.Minute)
+	f.Set(epoch.Add(2 * time.Minute))
+	select {
+	case <-ch:
+	default:
+		t.Fatal("After channel not ready following Set past deadline")
+	}
+	// Set to a time in the past must not rewind.
+	f.Set(epoch)
+	if got := f.Now(); got.Before(epoch.Add(2 * time.Minute)) {
+		t.Fatalf("Set rewound the clock to %v", got)
+	}
+}
+
+func TestSystemClockMonotone(t *testing.T) {
+	c := New()
+	a := c.Now()
+	c.Sleep(time.Millisecond)
+	b := c.Now()
+	if !b.After(a) {
+		t.Fatalf("system clock did not advance: %v then %v", a, b)
+	}
+	tm := c.NewTimer(time.Millisecond)
+	select {
+	case <-tm.C():
+	case <-time.After(time.Second):
+		t.Fatal("system timer did not fire")
+	}
+}

@@ -1,0 +1,366 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"siphoc/internal/clock"
+	"siphoc/internal/netem"
+	"siphoc/internal/slp"
+)
+
+// ConnProviderConfig tunes the Connection Provider.
+type ConnProviderConfig struct {
+	// ProbeInterval is how often the provider looks for a gateway when
+	// detached and pings it when attached (default 500ms).
+	ProbeInterval time.Duration
+	// LookupTimeout bounds each SLP gateway lookup (default 300ms).
+	LookupTimeout time.Duration
+	// AckTimeout bounds the tunnel OPEN/PING round trip (default 1s).
+	AckTimeout time.Duration
+	// IsLocal classifies node IDs as MANET-internal; traffic to other
+	// destinations is tunnelled. Default: IDs with no letters (dotted
+	// numeric MANET addresses) are local, names like "voicehoc.ch" are
+	// Internet hosts.
+	IsLocal func(netem.NodeID) bool
+	// Clock is the time source (default the system clock).
+	Clock clock.Clock
+}
+
+func (c ConnProviderConfig) withDefaults() ConnProviderConfig {
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.LookupTimeout == 0 {
+		c.LookupTimeout = 300 * time.Millisecond
+	}
+	if c.AckTimeout == 0 {
+		c.AckTimeout = time.Second
+	}
+	if c.IsLocal == nil {
+		c.IsLocal = func(id netem.NodeID) bool {
+			return !strings.ContainsFunc(string(id), func(r rune) bool {
+				return r != '.' && (r < '0' || r > '9')
+			})
+		}
+	}
+	if c.Clock == nil {
+		c.Clock = clock.New()
+	}
+	return c
+}
+
+// ConnectionProvider manages this node's attachment to the Internet: it
+// periodically checks MANET SLP for a gateway service, opens a layer-2
+// tunnel to the gateway it finds, and transparently routes Internet-bound
+// traffic through it (paper §2, Connection Provider).
+type ConnectionProvider struct {
+	host  *netem.Host
+	agent *slp.Agent
+	cfg   ConnProviderConfig
+	clk   clock.Clock
+
+	conn *netem.Conn
+
+	mu       sync.Mutex
+	attached bool
+	gateway  netem.NodeID
+	gwPort   uint16
+	ackCh    chan bool
+	pongCh   chan struct{}
+	watchers []func(bool)
+	started  bool
+	closed   bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewConnectionProvider creates the provider; agent is the node's MANET SLP
+// agent used for gateway discovery.
+func NewConnectionProvider(host *netem.Host, agent *slp.Agent, cfg ConnProviderConfig) *ConnectionProvider {
+	cfg = cfg.withDefaults()
+	return &ConnectionProvider{
+		host:  host,
+		agent: agent,
+		cfg:   cfg,
+		clk:   cfg.Clock,
+		stop:  make(chan struct{}),
+	}
+}
+
+// Start begins gateway discovery.
+func (p *ConnectionProvider) Start() error {
+	p.mu.Lock()
+	if p.started {
+		p.mu.Unlock()
+		return fmt.Errorf("core: connection provider already started")
+	}
+	p.started = true
+	p.mu.Unlock()
+	conn, err := p.host.Listen(0)
+	if err != nil {
+		return err
+	}
+	p.conn = conn
+	p.wg.Add(2)
+	go p.recvLoop()
+	go p.probeLoop()
+	return nil
+}
+
+// Stop detaches and terminates the provider.
+func (p *ConnectionProvider) Stop() {
+	p.mu.Lock()
+	if !p.started || p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	attached := p.attached
+	gw, gwPort := p.gateway, p.gwPort
+	p.mu.Unlock()
+	if attached {
+		_ = p.conn.WriteTo((&tunnelMsg{Kind: tunClose}).marshal(), gw, gwPort)
+	}
+	p.detach()
+	close(p.stop)
+	p.conn.Close()
+	p.wg.Wait()
+}
+
+// Attached reports whether the node currently has Internet connectivity.
+func (p *ConnectionProvider) Attached() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.attached
+}
+
+// Gateway returns the gateway node currently in use ("" when detached).
+func (p *ConnectionProvider) Gateway() netem.NodeID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.gateway
+}
+
+// OnChange registers fn to be called (from the provider's goroutine) when
+// attachment state flips.
+func (p *ConnectionProvider) OnChange(fn func(attached bool)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.watchers = append(p.watchers, fn)
+}
+
+func (p *ConnectionProvider) notify(attached bool) {
+	p.mu.Lock()
+	watchers := make([]func(bool), len(p.watchers))
+	copy(watchers, p.watchers)
+	p.mu.Unlock()
+	for _, fn := range watchers {
+		fn(attached)
+	}
+}
+
+func (p *ConnectionProvider) probeLoop() {
+	defer p.wg.Done()
+	for {
+		timer := p.clk.NewTimer(p.cfg.ProbeInterval)
+		select {
+		case <-p.stop:
+			timer.Stop()
+			return
+		case <-timer.C():
+		}
+		if p.Attached() {
+			p.pingGateway()
+		} else {
+			p.tryAttach()
+		}
+	}
+}
+
+// tryAttach looks for gateway services and opens a tunnel to the first
+// candidate that answers. Candidates are tried freshest-advert-first, so a
+// dead gateway whose stale advert still lingers in the cache only costs one
+// OPEN timeout before the live one is used.
+func (p *ConnectionProvider) tryAttach() {
+	candidates := p.gatewayCandidates()
+	if len(candidates) == 0 {
+		// Nothing cached: issue a wildcard query and retry on answer.
+		if _, err := p.agent.Lookup(GatewayServiceType, "", p.cfg.LookupTimeout); err != nil {
+			return
+		}
+		candidates = p.gatewayCandidates()
+	}
+	for _, cand := range candidates {
+		if p.openTunnel(cand.node, cand.port) {
+			p.mu.Lock()
+			p.attached = true
+			p.gateway = cand.node
+			p.gwPort = cand.port
+			p.mu.Unlock()
+			p.host.SetDefaultHandler(p.tunnelOut)
+			p.notify(true)
+			return
+		}
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
+	}
+}
+
+type gatewayCandidate struct {
+	node    netem.NodeID
+	port    uint16
+	expires time.Time
+}
+
+// gatewayCandidates lists reachable-looking gateways from the SLP cache,
+// freshest first.
+func (p *ConnectionProvider) gatewayCandidates() []gatewayCandidate {
+	var out []gatewayCandidate
+	for _, svc := range p.agent.Services(GatewayServiceType) {
+		_, addr, err := slp.ParseServiceURL(svc.URL)
+		if err != nil {
+			continue
+		}
+		host, portStr, ok := strings.Cut(addr, ":")
+		if !ok {
+			continue
+		}
+		var port uint16
+		if _, err := fmt.Sscanf(portStr, "%d", &port); err != nil {
+			continue
+		}
+		gw := netem.NodeID(host)
+		if gw == p.host.ID() {
+			continue // we are the gateway; nothing to tunnel
+		}
+		out = append(out, gatewayCandidate{node: gw, port: port, expires: svc.Expires})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].expires.After(out[j].expires) })
+	return out
+}
+
+// openTunnel sends OPEN to the gateway and waits for the acknowledgement.
+func (p *ConnectionProvider) openTunnel(gw netem.NodeID, port uint16) bool {
+	ack := make(chan bool, 1)
+	p.mu.Lock()
+	p.ackCh = ack
+	p.mu.Unlock()
+	if err := p.conn.WriteTo((&tunnelMsg{Kind: tunOpen}).marshal(), gw, port); err != nil {
+		return false
+	}
+	timer := p.clk.NewTimer(p.cfg.AckTimeout)
+	defer timer.Stop()
+	select {
+	case ok := <-ack:
+		return ok
+	case <-timer.C():
+		return false
+	case <-p.stop:
+		return false
+	}
+}
+
+// pingGateway verifies tunnel liveness; on failure it detaches so the next
+// probe can find another gateway.
+func (p *ConnectionProvider) pingGateway() {
+	pong := make(chan struct{}, 1)
+	p.mu.Lock()
+	p.pongCh = pong
+	gw, port := p.gateway, p.gwPort
+	p.mu.Unlock()
+	if err := p.conn.WriteTo((&tunnelMsg{Kind: tunPing}).marshal(), gw, port); err != nil {
+		p.detachAndNotify()
+		return
+	}
+	timer := p.clk.NewTimer(p.cfg.AckTimeout)
+	defer timer.Stop()
+	select {
+	case <-pong:
+	case <-timer.C():
+		p.detachAndNotify()
+	case <-p.stop:
+	}
+}
+
+func (p *ConnectionProvider) detach() {
+	p.mu.Lock()
+	wasAttached := p.attached
+	p.attached = false
+	p.gateway = ""
+	p.gwPort = 0
+	p.mu.Unlock()
+	if wasAttached {
+		p.host.SetDefaultHandler(nil)
+	}
+}
+
+func (p *ConnectionProvider) detachAndNotify() {
+	p.detach()
+	p.notify(false)
+}
+
+// tunnelOut is the host's default handler: it encapsulates Internet-bound
+// datagrams into the tunnel. MANET-local destinations are left to routing.
+func (p *ConnectionProvider) tunnelOut(dg *netem.Datagram) bool {
+	if p.cfg.IsLocal(dg.DstNode) {
+		return false
+	}
+	p.mu.Lock()
+	attached := p.attached
+	gw, port := p.gateway, p.gwPort
+	p.mu.Unlock()
+	if !attached {
+		return false
+	}
+	data, err := encapsulate(dg)
+	if err != nil {
+		return false
+	}
+	return p.conn.WriteTo(data, gw, port) == nil
+}
+
+func (p *ConnectionProvider) recvLoop() {
+	defer p.wg.Done()
+	for {
+		dg, ok := p.conn.Recv()
+		if !ok {
+			return
+		}
+		msg, err := parseTunnelMsg(dg.Data)
+		if err != nil {
+			continue
+		}
+		switch msg.Kind {
+		case tunOpenAck:
+			p.mu.Lock()
+			ch := p.ackCh
+			p.ackCh = nil
+			p.mu.Unlock()
+			if ch != nil {
+				ch <- msg.OK
+			}
+		case tunPong:
+			p.mu.Lock()
+			ch := p.pongCh
+			p.pongCh = nil
+			p.mu.Unlock()
+			if ch != nil {
+				ch <- struct{}{}
+			}
+		case tunData:
+			inner, err := netem.UnmarshalDatagram(msg.Inner)
+			if err != nil {
+				continue
+			}
+			p.host.InjectDatagram(inner)
+		}
+	}
+}

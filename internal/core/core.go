@@ -1,0 +1,18 @@
+// Package core implements the SIPHoc middleware: the components the paper
+// runs as independent OS processes on every MANET node (Figure 1).
+//
+//   - Proxy: a standard-SIP outbound proxy and registrar for the local VoIP
+//     application. It advertises local registrations through MANET SLP and
+//     resolves callees by consulting it, falling back to the Internet
+//     provider when the node is gateway-attached.
+//   - GatewayProvider: runs on nodes with Internet connectivity; publishes a
+//     "gateway" SLP service and accepts layer-2 tunnel connections.
+//   - ConnectionProvider: on every node, periodically looks for a gateway
+//     service and opens a tunnel, transparently attaching the node to the
+//     Internet.
+//
+// The pieces compose so that an out-of-the-box VoIP application configured
+// with outbound proxy "localhost" (paper Figure 2) works unchanged in an
+// isolated MANET, and gains Internet calling the moment any node in the
+// MANET has connectivity.
+package core

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"siphoc/internal/clock"
+	"siphoc/internal/internet"
+	"siphoc/internal/netem"
+	"siphoc/internal/slp"
+)
+
+// GatewayConfig tunes the Gateway Provider.
+type GatewayConfig struct {
+	// TunnelPort is the MANET-side tunnel server port (default 9000).
+	TunnelPort uint16
+	// ClientTTL evicts tunnel clients that stop pinging (default 10s).
+	ClientTTL time.Duration
+	// Clock is the time source (default the system clock).
+	Clock clock.Clock
+}
+
+func (c GatewayConfig) withDefaults() GatewayConfig {
+	if c.TunnelPort == 0 {
+		c.TunnelPort = TunnelPort
+	}
+	if c.ClientTTL == 0 {
+		c.ClientTTL = 10 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = clock.New()
+	}
+	return c
+}
+
+// GatewayStats counts gateway activity.
+type GatewayStats struct {
+	TunnelsOpened int64
+	TunnelsClosed int64
+	FramesIn      int64 // datagrams tunnelled MANET -> Internet
+	FramesOut     int64 // datagrams tunnelled Internet -> MANET
+}
+
+type tunnelClient struct {
+	node     netem.NodeID
+	peer     uint16 // client's tunnel port on the MANET side
+	vhost    *netem.Host
+	lastSeen time.Time
+}
+
+// GatewayProvider makes a node's Internet connectivity available to the
+// MANET: it publishes an SLP gateway service and bridges tunnelled traffic
+// onto the Internet by giving each tunnel client a virtual presence there
+// (the layer-2 tunnel of the paper: the client is "automatically attached to
+// the Internet").
+type GatewayProvider struct {
+	host  *netem.Host
+	inet  *internet.Internet
+	agent *slp.Agent
+	cfg   GatewayConfig
+	clk   clock.Clock
+
+	conn     *netem.Conn
+	selfHost *netem.Host // the gateway's own Internet presence
+
+	mu      sync.Mutex
+	clients map[netem.NodeID]*tunnelClient
+	stats   GatewayStats
+	started bool
+	closed  bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewGatewayProvider creates the provider for a node that has Internet
+// connectivity (modelled by access to inet). agent is the node's MANET SLP
+// agent, used to publish the gateway service.
+func NewGatewayProvider(host *netem.Host, inet *internet.Internet, agent *slp.Agent, cfg GatewayConfig) *GatewayProvider {
+	cfg = cfg.withDefaults()
+	return &GatewayProvider{
+		host:    host,
+		inet:    inet,
+		agent:   agent,
+		cfg:     cfg,
+		clk:     cfg.Clock,
+		clients: make(map[netem.NodeID]*tunnelClient),
+		stop:    make(chan struct{}),
+	}
+}
+
+// Start publishes the gateway service and begins accepting tunnels. It also
+// attaches the gateway node itself to the Internet.
+func (g *GatewayProvider) Start() error {
+	g.mu.Lock()
+	if g.started {
+		g.mu.Unlock()
+		return fmt.Errorf("core: gateway already started")
+	}
+	g.started = true
+	g.mu.Unlock()
+
+	conn, err := g.host.Listen(g.cfg.TunnelPort)
+	if err != nil {
+		return fmt.Errorf("core: gateway bind: %w", err)
+	}
+	g.conn = conn
+
+	// The gateway's own Internet presence: traffic to our node ID on the
+	// Internet is injected into the local MANET-side stack, and local
+	// traffic with no MANET route leaves via the Internet.
+	selfHost, err := g.inet.AddHost(g.host.ID())
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("core: gateway internet attach: %w", err)
+	}
+	g.selfHost = selfHost
+	selfHost.SetSink(func(dg *netem.Datagram) {
+		g.host.InjectDatagram(dg)
+	})
+	g.host.SetDefaultHandler(func(dg *netem.Datagram) bool {
+		cp := *dg
+		return g.selfHost.SendDatagram(&cp) == nil
+	})
+
+	// Keyed by our node ID so several gateways can coexist in the SLP
+	// caches; Connection Providers browse the type and pick one.
+	if err := g.agent.Register(slp.Service{
+		Type: GatewayServiceType,
+		Key:  string(g.host.ID()),
+		URL:  slp.ServiceURL(GatewayServiceType, fmt.Sprintf("%s:%d", g.host.ID(), g.cfg.TunnelPort)),
+	}); err != nil {
+		conn.Close()
+		return err
+	}
+
+	g.wg.Add(2)
+	go g.recvLoop()
+	go g.evictLoop()
+	return nil
+}
+
+// Stop withdraws the gateway service and tears all tunnels down.
+func (g *GatewayProvider) Stop() {
+	g.mu.Lock()
+	if !g.started || g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	clients := make([]*tunnelClient, 0, len(g.clients))
+	for _, c := range g.clients {
+		clients = append(clients, c)
+	}
+	g.clients = make(map[netem.NodeID]*tunnelClient)
+	g.mu.Unlock()
+
+	g.agent.Deregister(GatewayServiceType, string(g.host.ID()))
+	for _, c := range clients {
+		g.inet.RemoveHost(c.node)
+	}
+	g.host.SetDefaultHandler(nil)
+	close(g.stop)
+	g.conn.Close()
+	g.wg.Wait()
+}
+
+// Stats returns a snapshot of the gateway counters.
+func (g *GatewayProvider) Stats() GatewayStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+// Clients returns the nodes currently tunnelled through this gateway.
+func (g *GatewayProvider) Clients() []netem.NodeID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]netem.NodeID, 0, len(g.clients))
+	for id := range g.clients {
+		out = append(out, id)
+	}
+	return out
+}
+
+func (g *GatewayProvider) recvLoop() {
+	defer g.wg.Done()
+	for {
+		dg, ok := g.conn.Recv()
+		if !ok {
+			return
+		}
+		msg, err := parseTunnelMsg(dg.Data)
+		if err != nil {
+			continue
+		}
+		switch msg.Kind {
+		case tunOpen:
+			g.handleOpen(dg.SrcNode, dg.SrcPort)
+		case tunData:
+			g.handleData(dg.SrcNode, msg.Inner)
+		case tunClose:
+			g.closeClient(dg.SrcNode)
+		case tunPing:
+			g.touch(dg.SrcNode)
+			_ = g.conn.WriteTo((&tunnelMsg{Kind: tunPong}).marshal(), dg.SrcNode, dg.SrcPort)
+		}
+	}
+}
+
+func (g *GatewayProvider) handleOpen(node netem.NodeID, peerPort uint16) {
+	g.mu.Lock()
+	if c, ok := g.clients[node]; ok {
+		// Re-open from the same node: refresh.
+		c.peer = peerPort
+		c.lastSeen = g.clk.Now()
+		g.mu.Unlock()
+		_ = g.conn.WriteTo((&tunnelMsg{Kind: tunOpenAck, OK: true}).marshal(), node, peerPort)
+		return
+	}
+	g.mu.Unlock()
+
+	vhost, err := g.inet.AddHost(node)
+	if err != nil {
+		_ = g.conn.WriteTo((&tunnelMsg{Kind: tunOpenAck, OK: false}).marshal(), node, peerPort)
+		return
+	}
+	c := &tunnelClient{node: node, peer: peerPort, vhost: vhost, lastSeen: g.clk.Now()}
+	vhost.SetSink(func(dg *netem.Datagram) {
+		data, err := encapsulate(dg)
+		if err != nil {
+			return
+		}
+		g.mu.Lock()
+		peer := c.peer
+		g.stats.FramesOut++
+		g.mu.Unlock()
+		_ = g.conn.WriteTo(data, node, peer)
+	})
+	g.mu.Lock()
+	g.clients[node] = c
+	g.stats.TunnelsOpened++
+	g.mu.Unlock()
+	_ = g.conn.WriteTo((&tunnelMsg{Kind: tunOpenAck, OK: true}).marshal(), node, peerPort)
+}
+
+func (g *GatewayProvider) handleData(node netem.NodeID, inner []byte) {
+	g.mu.Lock()
+	c := g.clients[node]
+	if c != nil {
+		c.lastSeen = g.clk.Now()
+		g.stats.FramesIn++
+	}
+	g.mu.Unlock()
+	if c == nil {
+		return
+	}
+	dg, err := netem.UnmarshalDatagram(inner)
+	if err != nil {
+		return
+	}
+	_ = c.vhost.SendDatagram(dg)
+}
+
+func (g *GatewayProvider) touch(node netem.NodeID) {
+	g.mu.Lock()
+	if c := g.clients[node]; c != nil {
+		c.lastSeen = g.clk.Now()
+	}
+	g.mu.Unlock()
+}
+
+func (g *GatewayProvider) closeClient(node netem.NodeID) {
+	g.mu.Lock()
+	c := g.clients[node]
+	delete(g.clients, node)
+	if c != nil {
+		g.stats.TunnelsClosed++
+	}
+	g.mu.Unlock()
+	if c != nil {
+		g.inet.RemoveHost(node)
+	}
+}
+
+func (g *GatewayProvider) evictLoop() {
+	defer g.wg.Done()
+	for {
+		timer := g.clk.NewTimer(g.cfg.ClientTTL / 2)
+		select {
+		case <-g.stop:
+			timer.Stop()
+			return
+		case <-timer.C():
+		}
+		now := g.clk.Now()
+		var dead []netem.NodeID
+		g.mu.Lock()
+		for id, c := range g.clients {
+			if now.Sub(c.lastSeen) > g.cfg.ClientTTL {
+				dead = append(dead, id)
+			}
+		}
+		g.mu.Unlock()
+		for _, id := range dead {
+			g.closeClient(id)
+		}
+	}
+}

@@ -1,0 +1,565 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"siphoc/internal/clock"
+	"siphoc/internal/netem"
+	"siphoc/internal/sip"
+	"siphoc/internal/slp"
+)
+
+// SIPServiceType is the SLP service type SIP bindings are advertised under.
+const SIPServiceType = "sip"
+
+// ProxyConfig tunes the SIPHoc proxy.
+type ProxyConfig struct {
+	// Port is the SIP port the proxy binds (default 5060).
+	Port uint16
+	// SIP tunes the transaction layer (default sip.SimConfig()).
+	SIP sip.Config
+	// SLPTimeout bounds MANET SLP lookups during call routing
+	// (default 2s).
+	SLPTimeout time.Duration
+	// SLPTimeoutAttached bounds the MANET SLP lookup when the node is
+	// Internet-attached: with a provider available as fallback, a missing
+	// MANET binding should fail over quickly (default 500ms).
+	SLPTimeoutAttached time.Duration
+	// BindingTTL is the registrar binding lifetime (default 60s).
+	BindingTTL time.Duration
+	// DNS resolves an Internet SIP domain to its proxy address. The
+	// default maps a domain to host <domain>:5060, the RFC 3261 rule the
+	// paper relies on ("the SIP proxy can be deduced from the domain part
+	// of the SIP URI").
+	DNS func(domain string) sip.Addr
+	// Clock is the time source (default the system clock).
+	Clock clock.Clock
+}
+
+func (c ProxyConfig) withDefaults() ProxyConfig {
+	if c.Port == 0 {
+		c.Port = sip.DefaultPort
+	}
+	if c.SIP.T1 == 0 {
+		c.SIP = sip.SimConfig()
+	}
+	if c.SLPTimeout == 0 {
+		c.SLPTimeout = 2 * time.Second
+	}
+	if c.SLPTimeoutAttached == 0 {
+		c.SLPTimeoutAttached = 500 * time.Millisecond
+	}
+	if c.BindingTTL == 0 {
+		c.BindingTTL = 60 * time.Second
+	}
+	if c.DNS == nil {
+		c.DNS = func(domain string) sip.Addr {
+			return sip.Addr{Node: netem.NodeID(domain), Port: sip.DefaultPort}
+		}
+	}
+	if c.Clock == nil {
+		c.Clock = clock.New()
+	}
+	return c
+}
+
+// ProxyStats counts proxy activity.
+type ProxyStats struct {
+	Registers       int64
+	RequestsRouted  int64
+	LocalDeliveries int64 // resolved to a locally registered UA
+	SLPResolutions  int64 // resolved via MANET SLP
+	InternetRouted  int64 // resolved to an Internet provider
+	EndpointRouted  int64 // explicit host:port Request-URIs
+	RouteFollowed   int64 // in-dialog requests following their Route set
+	Unresolved      int64 // answered 404/480
+	UpstreamRegOK   int64
+	UpstreamRegFail int64
+}
+
+type localBinding struct {
+	contact sip.Addr
+	expires time.Time
+}
+
+// Proxy is the per-node SIPHoc proxy: a standards-compliant outbound proxy
+// and registrar for the local VoIP application that resolves callees through
+// MANET SLP and, when the node is Internet-attached, through the user's SIP
+// provider.
+type Proxy struct {
+	host  *netem.Host
+	agent *slp.Agent
+	connp *ConnectionProvider // may be nil (isolated MANET)
+	cfg   ProxyConfig
+	clk   clock.Clock
+	stack *sip.Stack
+
+	mu       sync.Mutex
+	bindings map[string]localBinding // AOR -> local UA contact
+	upstream map[string]int          // AOR -> last upstream REGISTER status
+	// invites maps the upstream INVITE branch to its downstream forward,
+	// so a hop-by-hop CANCEL can chase the INVITE (RFC 3261 §9.2).
+	invites map[string]*inviteForward
+	// creds holds provisioned digest credentials per AOR, used when the
+	// Internet provider challenges our upstream registration.
+	creds   map[string]upstreamCred
+	nc      uint32
+	stats   ProxyStats
+	started bool
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+// NewProxy creates the proxy. agent is the node's MANET SLP agent; connp may
+// be nil when the deployment has no Internet path at all.
+func NewProxy(host *netem.Host, agent *slp.Agent, connp *ConnectionProvider, cfg ProxyConfig) *Proxy {
+	cfg = cfg.withDefaults()
+	return &Proxy{
+		host:     host,
+		agent:    agent,
+		connp:    connp,
+		cfg:      cfg,
+		clk:      cfg.Clock,
+		bindings: make(map[string]localBinding),
+		upstream: make(map[string]int),
+		invites:  make(map[string]*inviteForward),
+		creds:    make(map[string]upstreamCred),
+	}
+}
+
+// Start binds the SIP port and begins serving.
+func (p *Proxy) Start() error {
+	p.mu.Lock()
+	if p.started {
+		p.mu.Unlock()
+		return fmt.Errorf("core: proxy already started")
+	}
+	p.started = true
+	p.mu.Unlock()
+	conn, err := p.host.Listen(p.cfg.Port)
+	if err != nil {
+		return fmt.Errorf("core: proxy bind: %w", err)
+	}
+	p.stack = sip.NewStack(conn, p.cfg.SIP)
+	p.stack.OnRequest(p.onRequest)
+	if p.connp != nil {
+		p.connp.OnChange(func(attached bool) {
+			if attached {
+				p.registerUpstreamAll()
+			}
+		})
+	}
+	return nil
+}
+
+// Stop shuts the proxy down.
+func (p *Proxy) Stop() {
+	p.mu.Lock()
+	if !p.started || p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.stack.Close()
+	p.wg.Wait()
+}
+
+// Addr returns the proxy's SIP transport address.
+func (p *Proxy) Addr() sip.Addr {
+	return sip.Addr{Node: p.host.ID(), Port: p.cfg.Port}
+}
+
+// Stats returns a snapshot of the proxy counters.
+func (p *Proxy) Stats() ProxyStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Bindings returns the locally registered AORs.
+func (p *Proxy) Bindings() []string {
+	now := p.clk.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.bindings))
+	for aor, b := range p.bindings {
+		if now.After(b.expires) {
+			continue
+		}
+		out = append(out, aor)
+	}
+	return out
+}
+
+// UpstreamStatus returns the status code of the last upstream registration
+// attempt for an AOR (0 if none was attempted).
+func (p *Proxy) UpstreamStatus(aor string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.upstream[aor]
+}
+
+func (p *Proxy) onRequest(tx *sip.ServerTx) {
+	req := tx.Request()
+	switch req.Method {
+	case sip.MethodRegister:
+		p.handleRegister(tx)
+	case sip.MethodAck:
+		p.routeStateless(tx)
+	case sip.MethodCancel:
+		p.handleCancel(tx)
+	default:
+		p.routeStateful(tx)
+	}
+}
+
+// handleRegister implements the registrar half of the proxy: it accepts the
+// local application's REGISTER, stores the binding, and advertises the
+// proxy's own endpoint as the user's contact address via MANET SLP (paper
+// Figure 3 steps 1-2 and Figure 4).
+func (p *Proxy) handleRegister(tx *sip.ServerTx) {
+	req := tx.Request()
+	if tx.Source().Node != p.host.ID() {
+		// Only the local application registers here; we are not the
+		// network's registrar.
+		_ = tx.RespondCode(sip.StatusNotFound, "Not a registrar for remote clients")
+		return
+	}
+	aor := req.To.URI.AddressOfRecord()
+	if len(req.Contact) == 0 {
+		_ = tx.RespondCode(sip.StatusBadRequest, "Missing Contact")
+		return
+	}
+	contactURI := req.Contact[0].URI
+	contact := sip.Addr{Node: netem.NodeID(contactURI.Host), Port: contactURI.PortOrDefault()}
+	ttl := p.cfg.BindingTTL
+	if req.Expires >= 0 {
+		ttl = time.Duration(req.Expires) * time.Second
+	}
+	p.mu.Lock()
+	p.stats.Registers++
+	if ttl == 0 {
+		delete(p.bindings, aor)
+	} else {
+		p.bindings[aor] = localBinding{contact: contact, expires: p.clk.Now().Add(ttl)}
+	}
+	p.mu.Unlock()
+
+	if ttl == 0 {
+		p.agent.Deregister(SIPServiceType, aor)
+	} else {
+		// Advertise our own SIP endpoint as the responsible contact
+		// address for this user.
+		_ = p.agent.Register(slp.Service{
+			Type: SIPServiceType,
+			Key:  aor,
+			URL:  slp.ServiceURL(SIPServiceType, p.Addr().String()),
+		})
+	}
+	resp := sip.NewResponse(req, sip.StatusOK, "")
+	resp.Contact = []*sip.NameAddr{req.Contact[0].Clone()}
+	resp.Expires = int(ttl / time.Second)
+	_ = tx.Respond(resp)
+
+	// If the MANET is Internet-connected, also register the user's
+	// official SIP address with their provider so calls from the Internet
+	// reach the MANET (paper §3.2).
+	if ttl > 0 && p.connp != nil && p.connp.Attached() {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.registerUpstream(aor)
+		}()
+	}
+}
+
+// resolve maps a request's target to a next-hop transport address following
+// the paper's routing policy: explicit endpoints first, then the local
+// registrar, then MANET SLP, then — when attached — the Internet provider.
+// It returns the failing status code when nothing matches.
+func (p *Proxy) resolve(req *sip.Message) (sip.Addr, string, int) {
+	uri := req.RequestURI
+	if uri.Port != 0 {
+		// Explicit endpoint (a UA contact): deliver directly.
+		return sip.Addr{Node: netem.NodeID(uri.Host), Port: uri.Port}, "endpoint", 0
+	}
+	aor := uri.AddressOfRecord()
+	now := p.clk.Now()
+	p.mu.Lock()
+	b, ok := p.bindings[aor]
+	p.mu.Unlock()
+	if ok && now.Before(b.expires) {
+		return b.contact, "local", 0
+	}
+	// Consult MANET SLP (paper Figure 3 step 6). With an Internet
+	// fallback available, do not wait out the full epidemic-query
+	// timeout.
+	slpTimeout := p.cfg.SLPTimeout
+	attached := p.connp != nil && p.connp.Attached()
+	if attached && slpTimeout > p.cfg.SLPTimeoutAttached {
+		slpTimeout = p.cfg.SLPTimeoutAttached
+	}
+	if svc, err := p.agent.Lookup(SIPServiceType, aor, slpTimeout); err == nil {
+		if _, addrStr, err := slp.ParseServiceURL(svc.URL); err == nil {
+			if addr, err := sip.ParseAddr(addrStr); err == nil && addr != p.Addr() {
+				return addr, "slp", 0
+			}
+		}
+	}
+	// Fall back to the Internet when this node is attached.
+	if attached && strings.Contains(uri.Host, ".") {
+		return p.cfg.DNS(uri.Host), "internet", 0
+	}
+	return sip.Addr{}, "", sip.StatusNotFound
+}
+
+func (p *Proxy) recordResolution(kind string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.RequestsRouted++
+	switch kind {
+	case "local":
+		p.stats.LocalDeliveries++
+	case "slp":
+		p.stats.SLPResolutions++
+	case "internet":
+		p.stats.InternetRouted++
+	case "endpoint":
+		p.stats.EndpointRouted++
+	case "route":
+		p.stats.RouteFollowed++
+	}
+}
+
+// nextHopFor picks the forwarding target for an already-prepared request:
+// the topmost remaining Route entry when present (loose routing), otherwise
+// the resolution policy on the Request-URI.
+func (p *Proxy) nextHopFor(fwd *sip.Message) (sip.Addr, string, int) {
+	if len(fwd.Route) > 0 {
+		return sip.Addr{
+			Node: netem.NodeID(fwd.Route[0].URI.Host),
+			Port: fwd.Route[0].URI.PortOrDefault(),
+		}, "route", 0
+	}
+	return p.resolve(fwd)
+}
+
+func (p *Proxy) routeStateless(tx *sip.ServerTx) {
+	fwd, err := sip.PrepareForward(tx.Request(), p.stack.Addr())
+	if err != nil {
+		return
+	}
+	dst, kind, _ := p.nextHopFor(fwd)
+	if kind == "" {
+		return
+	}
+	p.recordResolution(kind)
+	_ = p.stack.Send(fwd, dst)
+}
+
+func (p *Proxy) routeStateful(tx *sip.ServerTx) {
+	req := tx.Request()
+	if sip.HasLoop(req, p.stack.Addr()) {
+		_ = tx.RespondCode(sip.StatusLoopDetected, "")
+		return
+	}
+	fwd, err := sip.PrepareForward(req, p.stack.Addr())
+	if err != nil {
+		_ = tx.RespondCode(sip.StatusTooManyHops, "")
+		return
+	}
+	dst, kind, failCode := p.nextHopFor(fwd)
+	if kind == "" {
+		p.mu.Lock()
+		p.stats.Unresolved++
+		p.mu.Unlock()
+		_ = tx.RespondCode(failCode, "")
+		return
+	}
+	if req.Method == sip.MethodInvite {
+		_ = tx.RespondCode(sip.StatusTrying, "")
+		// Record-Route: keep this proxy on the path for in-dialog
+		// requests (RFC 3261 §16.6 step 4).
+		rr := &sip.NameAddr{URI: &sip.URI{
+			Scheme: "sip", Host: string(p.host.ID()), Port: p.cfg.Port,
+			Params: map[string]string{"lr": ""},
+		}}
+		fwd.RecordRoute = append([]*sip.NameAddr{rr}, fwd.RecordRoute...)
+	}
+	ct, err := p.stack.SendRequest(fwd, dst)
+	if err != nil {
+		_ = tx.RespondCode(sip.StatusInternalError, "")
+		return
+	}
+	if req.Method == sip.MethodInvite {
+		if v := req.TopVia(); v != nil {
+			branch := v.Branch()
+			p.mu.Lock()
+			p.invites[branch] = &inviteForward{fwd: fwd, dst: dst}
+			p.mu.Unlock()
+			defer func() {
+				p.mu.Lock()
+				delete(p.invites, branch)
+				p.mu.Unlock()
+			}()
+		}
+	}
+	p.recordResolution(kind)
+	for resp := range ct.Responses() {
+		up := resp.Clone()
+		if len(up.Via) > 0 {
+			up.Via = up.Via[1:] // pop our Via
+		}
+		if len(up.Via) == 0 {
+			continue
+		}
+		if up.StatusCode == sip.StatusTrying {
+			continue // hop-by-hop only
+		}
+		_ = tx.Respond(up)
+		if resp.StatusCode >= 200 {
+			return
+		}
+	}
+	// Downstream transaction timed out without a final response.
+	_ = tx.RespondCode(sip.StatusRequestTimeout, "")
+}
+
+type inviteForward struct {
+	fwd *sip.Message // the downstream INVITE as sent (our Via on top)
+	dst sip.Addr
+}
+
+// handleCancel implements hop-by-hop CANCEL (RFC 3261 §9.2): answer the
+// CANCEL locally with 200, then chase the matching downstream INVITE with a
+// CANCEL of our own, reusing the downstream branch.
+func (p *Proxy) handleCancel(tx *sip.ServerTx) {
+	req := tx.Request()
+	branch := ""
+	if v := req.TopVia(); v != nil {
+		branch = v.Branch()
+	}
+	p.mu.Lock()
+	fw := p.invites[branch]
+	p.mu.Unlock()
+	if fw == nil {
+		_ = tx.RespondCode(sip.StatusCallDoesNotExist, "")
+		return
+	}
+	_ = tx.RespondCode(sip.StatusOK, "")
+	cancel := sip.BuildCancel(fw.fwd)
+	if ct, err := p.stack.SendRequestPreVia(cancel, fw.dst); err == nil {
+		// Drain in the background; the 487 for the INVITE travels on the
+		// INVITE transaction itself.
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			_, _ = ct.Await()
+		}()
+	}
+}
+
+// registerUpstreamAll re-registers every local binding with its provider,
+// invoked when the node gains Internet connectivity.
+func (p *Proxy) registerUpstreamAll() {
+	now := p.clk.Now()
+	p.mu.Lock()
+	aors := make([]string, 0, len(p.bindings))
+	for aor, b := range p.bindings {
+		if now.Before(b.expires) {
+			aors = append(aors, aor)
+		}
+	}
+	p.mu.Unlock()
+	for _, aor := range aors {
+		aor := aor
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.registerUpstream(aor)
+		}()
+	}
+}
+
+type upstreamCred struct {
+	username string
+	password string
+}
+
+// SetUpstreamCredentials provisions digest credentials used when the user's
+// Internet provider challenges the proxy's upstream REGISTER. In the paper's
+// deployment the proxy registers on the user's behalf, so the credentials
+// must live here — the same way a home router's SIP ALG is provisioned.
+func (p *Proxy) SetUpstreamCredentials(aor, username, password string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.creds[aor] = upstreamCred{username: username, password: password}
+}
+
+// registerUpstream registers the user's official SIP address at their
+// provider, with this proxy as the contact so inbound calls traverse the
+// tunnel and land here. A 401 digest challenge is answered once when
+// credentials are provisioned.
+func (p *Proxy) registerUpstream(aor string) {
+	user, domain, ok := strings.Cut(aor, "@")
+	if !ok {
+		return
+	}
+	dst := p.cfg.DNS(domain)
+	buildReq := func(seq uint32) *sip.Message {
+		req := sip.NewRequest(sip.MethodRegister, &sip.URI{Scheme: "sip", Host: domain})
+		identity := &sip.NameAddr{URI: &sip.URI{Scheme: "sip", User: user, Host: domain}}
+		req.From = identity.Clone()
+		req.From.SetTag(p.stack.NewTag())
+		req.To = identity.Clone()
+		req.CallID = p.stack.NewCallID()
+		req.CSeq = sip.CSeq{Seq: seq, Method: sip.MethodRegister}
+		req.Contact = []*sip.NameAddr{{URI: &sip.URI{
+			Scheme: "sip", User: user, Host: string(p.host.ID()), Port: p.cfg.Port,
+		}}}
+		req.Expires = int(p.cfg.BindingTTL / time.Second)
+		return req
+	}
+	send := func(req *sip.Message) (*sip.Message, int) {
+		ct, err := p.stack.SendRequest(req, dst)
+		if err != nil {
+			return nil, sip.StatusInternalError
+		}
+		resp, err := ct.Await()
+		if err != nil {
+			return nil, sip.StatusRequestTimeout
+		}
+		return resp, resp.StatusCode
+	}
+	resp, code := send(buildReq(1))
+	if code == sip.StatusUnauthorized && resp != nil {
+		if challenge, ok := resp.Challenge(); ok {
+			p.mu.Lock()
+			cred, have := p.creds[aor]
+			p.nc++
+			nc := p.nc
+			p.mu.Unlock()
+			if have {
+				retry := buildReq(2)
+				retry.SetAuthorization(challenge.Answer(
+					cred.username, cred.password, sip.MethodRegister,
+					retry.RequestURI.String(), "cn-"+p.stack.NewTag(), nc,
+				))
+				_, code = send(retry)
+			}
+		}
+	}
+	p.mu.Lock()
+	p.upstream[aor] = code
+	if code == sip.StatusOK {
+		p.stats.UpstreamRegOK++
+	} else {
+		p.stats.UpstreamRegFail++
+	}
+	p.mu.Unlock()
+}

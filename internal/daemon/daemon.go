@@ -1,0 +1,233 @@
+// Package daemon assembles the full SIPHoc service set for deployment as a
+// real network daemon: one OS process per MANET node, with the link layer
+// running over real UDP sockets (see netem.NewUDPNetwork). This is the
+// multi-process deployment mode of cmd/siphocd and cmd/softphone, mirroring
+// the paper's per-node processes on laptops and iPAQ handhelds.
+package daemon
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"siphoc/internal/core"
+	"siphoc/internal/internet"
+	"siphoc/internal/netem"
+	"siphoc/internal/routing"
+	"siphoc/internal/routing/aodv"
+	"siphoc/internal/routing/olsr"
+	"siphoc/internal/sip"
+	"siphoc/internal/slp"
+	"siphoc/internal/voip"
+)
+
+// ProviderSpec describes one SIP provider hosted by a gateway daemon's
+// in-process Internet.
+type ProviderSpec struct {
+	Domain   string
+	Accounts []string
+}
+
+// Config configures one daemon process.
+type Config struct {
+	// ID is this node's address, e.g. "10.0.0.1".
+	ID netem.NodeID
+	// Listen is the local UDP address for the MANET link layer.
+	Listen string
+	// Peers maps neighbour IDs to their UDP addresses (radio range).
+	Peers map[netem.NodeID]string
+	// Routing selects "aodv" (default) or "olsr".
+	Routing string
+	// Fast uses simulation-scale protocol timers instead of RFC timing —
+	// convenient for demos on loopback.
+	Fast bool
+	// Gateway runs a Gateway Provider backed by an in-process Internet
+	// hosting the given providers.
+	Gateway   bool
+	Providers []ProviderSpec
+}
+
+// Daemon is one running SIPHoc node.
+type Daemon struct {
+	cfg     Config
+	network *netem.Network
+	host    *netem.Host
+	proto   routing.Protocol
+	agent   *slp.Agent
+	connp   *core.ConnectionProvider
+	gw      *core.GatewayProvider
+	inet    *internet.Internet
+	proxy   *core.Proxy
+	phones  []*voip.Phone
+}
+
+// daemonSIPConfig picks transaction timing: fast demo timers or RFC 3261
+// defaults (T1 = 500 ms).
+func daemonSIPConfig(fast bool) sip.Config {
+	if fast {
+		return sip.SimConfig()
+	}
+	return sip.Config{T1: 500 * time.Millisecond}
+}
+
+// Start brings the daemon up: UDP link layer, routing, MANET SLP,
+// Connection/Gateway Provider and the SIP proxy.
+func Start(cfg Config) (*Daemon, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("daemon: node id required")
+	}
+	network, host, err := netem.NewUDPNetwork(netem.UDPConfig{
+		Self: cfg.ID, Listen: cfg.Listen, Peers: cfg.Peers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{cfg: cfg, network: network, host: host}
+	fail := func(err error) (*Daemon, error) {
+		d.Close()
+		return nil, err
+	}
+
+	d.agent = slp.NewAgent(host, slp.Config{})
+	switch strings.ToLower(cfg.Routing) {
+	case "", "aodv":
+		c := aodv.DefaultConfig()
+		if cfg.Fast {
+			c = aodv.SimConfig()
+		}
+		d.proto = aodv.New(host, c)
+	case "olsr":
+		c := olsr.DefaultConfig()
+		if cfg.Fast {
+			c = olsr.SimConfig()
+		}
+		d.proto = olsr.New(host, c)
+	default:
+		return fail(fmt.Errorf("daemon: unknown routing %q", cfg.Routing))
+	}
+	d.agent.AttachRouting(d.proto)
+	if err := d.proto.Start(); err != nil {
+		return fail(err)
+	}
+	if err := d.agent.Start(); err != nil {
+		return fail(err)
+	}
+
+	if cfg.Gateway {
+		d.inet = internet.New(internet.Config{})
+		for _, spec := range cfg.Providers {
+			pcfg := internet.ProviderConfig{Domain: spec.Domain, SIP: daemonSIPConfig(cfg.Fast)}
+			prov, err := internet.NewProvider(d.inet, pcfg)
+			if err != nil {
+				return fail(err)
+			}
+			for _, acct := range spec.Accounts {
+				prov.AddAccount(acct)
+			}
+		}
+		d.gw = core.NewGatewayProvider(host, d.inet, d.agent, core.GatewayConfig{})
+		if err := d.gw.Start(); err != nil {
+			return fail(err)
+		}
+	} else {
+		d.connp = core.NewConnectionProvider(host, d.agent, core.ConnProviderConfig{})
+		if err := d.connp.Start(); err != nil {
+			return fail(err)
+		}
+	}
+
+	d.proxy = core.NewProxy(host, d.agent, d.connp, core.ProxyConfig{SIP: daemonSIPConfig(cfg.Fast)})
+	if err := d.proxy.Start(); err != nil {
+		return fail(err)
+	}
+	return d, nil
+}
+
+// NewPhone creates a softphone on this node (outbound proxy = the local
+// SIPHoc proxy, paper Figure 2). autoAnswer controls whether incoming calls
+// are picked up automatically.
+func (d *Daemon) NewPhone(user, domain string, autoAnswer bool) (*voip.Phone, error) {
+	cfg := voip.Config{
+		User: user, Domain: domain,
+		OutboundProxy: d.proxy.Addr(),
+		NoAutoAnswer:  !autoAnswer,
+		Port:          uint16(5062 + 2*len(d.phones)),
+		SIP:           daemonSIPConfig(d.cfg.Fast),
+	}
+	ph := voip.New(d.host, cfg)
+	if err := ph.Start(); err != nil {
+		return nil, err
+	}
+	d.phones = append(d.phones, ph)
+	return ph, nil
+}
+
+// ID returns the node ID.
+func (d *Daemon) ID() netem.NodeID { return d.cfg.ID }
+
+// SLP exposes the MANET SLP agent.
+func (d *Daemon) SLP() *slp.Agent { return d.agent }
+
+// Routing exposes the routing protocol.
+func (d *Daemon) Routing() routing.Protocol { return d.proto }
+
+// Proxy exposes the SIP proxy.
+func (d *Daemon) Proxy() *core.Proxy { return d.proxy }
+
+// Network exposes the UDP-bridged link layer (AddPeer/RemovePeer).
+func (d *Daemon) Network() *netem.Network { return d.network }
+
+// Attached reports Internet connectivity.
+func (d *Daemon) Attached() bool {
+	if d.gw != nil {
+		return true
+	}
+	return d.connp != nil && d.connp.Attached()
+}
+
+// Status renders a one-screen status report.
+func (d *Daemon) Status() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "siphocd: node %s (%s)\n", d.cfg.ID, d.proto.Name())
+	fmt.Fprintf(&b, "siphocd: neighbours: %v\n", d.host.Neighbors())
+	routes := d.proto.Routes()
+	fmt.Fprintf(&b, "siphocd: routes (%d):\n", len(routes))
+	for _, r := range routes {
+		fmt.Fprintf(&b, "siphocd:   %-16s via %-16s hops %d\n", r.Dst, r.NextHop, r.Hops)
+	}
+	if d.gw != nil {
+		fmt.Fprintf(&b, "siphocd: gateway: serving %d tunnel client(s)\n", len(d.gw.Clients()))
+	} else if d.connp != nil {
+		fmt.Fprintf(&b, "siphocd: internet: attached=%v gateway=%s\n", d.connp.Attached(), d.connp.Gateway())
+	}
+	b.WriteString(d.agent.Dump())
+	return b.String()
+}
+
+// Close stops all services and releases the socket.
+func (d *Daemon) Close() {
+	for _, ph := range d.phones {
+		ph.Stop()
+	}
+	if d.proxy != nil {
+		d.proxy.Stop()
+	}
+	if d.connp != nil {
+		d.connp.Stop()
+	}
+	if d.gw != nil {
+		d.gw.Stop()
+	}
+	if d.inet != nil {
+		d.inet.Close()
+	}
+	if d.agent != nil {
+		d.agent.Stop()
+	}
+	if d.proto != nil {
+		d.proto.Stop()
+	}
+	if d.network != nil {
+		d.network.Close()
+	}
+}

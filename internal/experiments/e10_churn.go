@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"siphoc"
+)
+
+// E10 probes the transparency claim of §3.2 under gateway churn: Internet
+// connectivity comes and goes with the gateway, and the middleware
+// re-attaches on its own — the VoIP user keeps the same configuration
+// throughout.
+func E10(w io.Writer) error {
+	header(w, "E10: transparency under gateway churn (paper §3.2)")
+	sc, err := siphoc.NewScenario(siphoc.ScenarioConfig{Internet: true})
+	if err != nil {
+		return err
+	}
+	defer sc.Close()
+	prov, err := sc.AddProvider(siphoc.ProviderConfig{Domain: "voicehoc.ch"})
+	if err != nil {
+		return err
+	}
+	prov.AddAccount("alice")
+	prov.AddAccount("carol")
+	node, err := sc.AddNode("10.0.0.1", siphoc.Position{})
+	if err != nil {
+		return err
+	}
+	gw1, err := sc.AddNode("10.0.0.2", siphoc.Position{X: 60}, siphoc.WithGateway())
+	if err != nil {
+		return err
+	}
+	carol, err := sc.AddInternetPhone("carol", "voicehoc.ch", "ua.carol.net")
+	if err != nil {
+		return err
+	}
+	if err := carol.Register(); err != nil {
+		return err
+	}
+	alice, err := node.NewPhone("alice", "voicehoc.ch")
+	if err != nil {
+		return err
+	}
+	if err := retry(3, alice.Register); err != nil {
+		return err
+	}
+
+	t0 := time.Now()
+	if err := sc.WaitAttached(node, 30*time.Second); err != nil {
+		return err
+	}
+	attach1 := time.Since(t0)
+	fmt.Fprintf(w, "t=%8v  node attached via gateway %s\n", attach1.Round(time.Millisecond), gw1.ID())
+
+	callOK := func(label string) error {
+		call, err := alice.Dial("carol@voicehoc.ch")
+		if err != nil {
+			return err
+		}
+		if err := call.WaitEstablished(20 * time.Second); err != nil {
+			return fmt.Errorf("%s: %w", label, err)
+		}
+		defer func() { _ = call.Hangup() }()
+		fmt.Fprintf(w, "t=%8v  %s: Internet call established in %v\n",
+			time.Since(t0).Round(time.Millisecond), label, call.SetupDuration().Round(time.Millisecond))
+		return nil
+	}
+	if err := callOK("with gateway 1"); err != nil {
+		return err
+	}
+
+	// Kill the gateway.
+	sc.RemoveNode(gw1.ID())
+	tKill := time.Now()
+	fmt.Fprintf(w, "t=%8v  gateway %s died\n", time.Since(t0).Round(time.Millisecond), gw1.ID())
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) && node.InternetAttached() {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if node.InternetAttached() {
+		return fmt.Errorf("node never detected gateway loss")
+	}
+	fmt.Fprintf(w, "t=%8v  loss detected, node detached (%v after the failure)\n",
+		time.Since(t0).Round(time.Millisecond), time.Since(tKill).Round(time.Millisecond))
+
+	// Internet calls must now fail fast at the proxy.
+	failCall, err := alice.Dial("carol@voicehoc.ch")
+	if err != nil {
+		return err
+	}
+	if err := failCall.WaitEstablished(20 * time.Second); err == nil {
+		return fmt.Errorf("Internet call succeeded while detached")
+	}
+	fmt.Fprintf(w, "t=%8v  Internet call correctly rejected while detached (status %d)\n",
+		time.Since(t0).Round(time.Millisecond), failCall.FailCode())
+
+	// Replacement gateway appears; the node must re-attach by itself.
+	tNew := time.Now()
+	if _, err := sc.AddNode("10.0.0.3", siphoc.Position{X: 70}, siphoc.WithGateway()); err != nil {
+		return err
+	}
+	if err := sc.WaitAttached(node, 60*time.Second); err != nil {
+		return fmt.Errorf("failover: %w", err)
+	}
+	fmt.Fprintf(w, "t=%8v  new gateway 10.0.0.3 up; node re-attached after %v\n",
+		time.Since(t0).Round(time.Millisecond), time.Since(tNew).Round(time.Millisecond))
+	if err := callOK("after failover"); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nresult: connectivity churn is invisible to the application configuration;\n")
+	fmt.Fprintf(w, "attachment, failure detection and failover are fully automatic.\n")
+	return nil
+}

@@ -1,0 +1,77 @@
+// Package internet simulates the fixed Internet the paper's MANET
+// occasionally connects to: a fully connected network hosting SIP providers
+// (the paper tested siphoc.ch, netvoip.ch and polyphone.ethz.ch), reachable
+// from the MANET only through a gateway node's layer-2 tunnel.
+//
+// The Internet is modelled as a netem.Network whose nodes are all mutually
+// reachable in one hop (a star/backbone abstraction): hosts get a full-mesh
+// route provider and generous radio range. Host names double as DNS names —
+// a provider for domain "voicehoc.ch" runs on the node with that ID, which
+// is exactly how the SIPHoc proxy resolves "the SIP proxy can be deduced
+// from the domain part of the SIP URI" (RFC 3261 §8.1.2).
+package internet
+
+import (
+	"fmt"
+	"time"
+
+	"siphoc/internal/netem"
+)
+
+// FullMesh routes every destination as a direct neighbour — the Internet's
+// "it just works" forwarding abstraction.
+type FullMesh struct{}
+
+var _ netem.RouteProvider = FullMesh{}
+
+// NextHop implements netem.RouteProvider.
+func (FullMesh) NextHop(dst netem.NodeID) (netem.NodeID, bool) { return dst, true }
+
+// RequestRoute implements netem.RouteProvider.
+func (FullMesh) RequestRoute(dst netem.NodeID, done func(bool)) { done(true) }
+
+// Internet wraps the fixed network.
+type Internet struct {
+	net *netem.Network
+}
+
+// Config tunes the simulated Internet.
+type Config struct {
+	// Delay is the per-hop latency between Internet hosts (default 5ms,
+	// a metropolitan RTT of 10ms).
+	Delay time.Duration
+	// Seed seeds the loss RNG (losses default to zero).
+	Seed int64
+}
+
+// New creates an empty Internet.
+func New(cfg Config) *Internet {
+	if cfg.Delay == 0 {
+		cfg.Delay = 5 * time.Millisecond
+	}
+	n := netem.NewNetwork(netem.Config{
+		Range:     1e12, // everyone reaches everyone
+		BaseDelay: cfg.Delay,
+		Seed:      cfg.Seed,
+	})
+	return &Internet{net: n}
+}
+
+// Network exposes the underlying medium (for stats and teardown).
+func (i *Internet) Network() *netem.Network { return i.net }
+
+// AddHost attaches a named Internet host with full-mesh routing.
+func (i *Internet) AddHost(name netem.NodeID) (*netem.Host, error) {
+	h, err := i.net.AddHost(name, netem.Position{})
+	if err != nil {
+		return nil, fmt.Errorf("internet: %w", err)
+	}
+	h.SetRouteProvider(FullMesh{})
+	return h, nil
+}
+
+// RemoveHost detaches a host.
+func (i *Internet) RemoveHost(name netem.NodeID) { i.net.RemoveHost(name) }
+
+// Close shuts the Internet down.
+func (i *Internet) Close() { i.net.Close() }

@@ -1,0 +1,56 @@
+package netem
+
+import (
+	"testing"
+)
+
+// FuzzUnmarshalDatagram: any input either errors or round-trips through the
+// datagram codec.
+func FuzzUnmarshalDatagram(f *testing.F) {
+	good, _ := MarshalDatagram(&Datagram{
+		SrcNode: "10.0.0.1", DstNode: "10.0.0.2",
+		SrcPort: 5060, DstPort: 427, TTL: 8, Data: []byte("payload"),
+	})
+	f.Add(good)
+	f.Add([]byte{0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dg, err := UnmarshalDatagram(data)
+		if err != nil {
+			return
+		}
+		raw, err := MarshalDatagram(dg)
+		if err != nil {
+			t.Fatalf("accepted datagram fails to marshal: %v", err)
+		}
+		dg2, err := UnmarshalDatagram(raw)
+		if err != nil {
+			t.Fatalf("marshal output unparseable: %v", err)
+		}
+		if dg2.SrcNode != dg.SrcNode || dg2.DstNode != dg.DstNode ||
+			dg2.SrcPort != dg.SrcPort || dg2.DstPort != dg.DstPort ||
+			dg2.TTL != dg.TTL || string(dg2.Data) != string(dg.Data) {
+			t.Fatalf("round trip drift: %+v vs %+v", dg, dg2)
+		}
+	})
+}
+
+// FuzzUnmarshalUDPFrame covers the UDP-underlay frame codec.
+func FuzzUnmarshalUDPFrame(f *testing.F) {
+	f.Add(marshalUDPFrame(Frame{Src: "a", Dst: "b", Kind: KindRouting, Payload: []byte("x")}))
+	f.Add([]byte{1, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := unmarshalUDPFrame(data)
+		if err != nil {
+			return
+		}
+		fr2, err := unmarshalUDPFrame(marshalUDPFrame(*fr))
+		if err != nil {
+			t.Fatalf("marshal output unparseable: %v", err)
+		}
+		if fr2.Src != fr.Src || fr2.Dst != fr.Dst || fr2.Kind != fr.Kind ||
+			string(fr2.Payload) != string(fr.Payload) {
+			t.Fatalf("round trip drift: %+v vs %+v", fr, fr2)
+		}
+	})
+}

@@ -1,0 +1,435 @@
+package netem
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RouteProvider is what a routing protocol exposes to the forwarding engine.
+// AODV implements RequestRoute by flooding an RREQ; OLSR answers from its
+// proactively maintained table.
+type RouteProvider interface {
+	// NextHop returns the neighbour to forward traffic for dst to.
+	NextHop(dst NodeID) (NodeID, bool)
+	// RequestRoute asks the protocol to obtain a route to dst. done is
+	// invoked exactly once, possibly synchronously, with the outcome.
+	RequestRoute(dst NodeID, done func(found bool))
+}
+
+// HostStats counts per-node datagram activity.
+type HostStats struct {
+	Sent       int64 // datagrams originated here
+	Received   int64 // datagrams delivered to a local port
+	Forwarded  int64 // datagrams relayed for other nodes
+	NoRoute    int64 // datagrams dropped after failed route discovery
+	TTLExpired int64 // datagrams dropped on hop-limit exhaustion
+	PortDrops  int64 // datagrams dropped at a full application queue
+}
+
+// Host is one node's network stack: link interface, multihop forwarding and
+// UDP-like ports. Create hosts with Network.AddHost.
+type Host struct {
+	net *Network
+	id  NodeID
+
+	inbox chan Frame
+	stop  chan struct{}
+	done  chan struct{}
+
+	mu        sync.Mutex
+	handlers  map[FrameKind]func(Frame)
+	rp        RouteProvider
+	defaultFn func(*Datagram) bool
+	sink      func(*Datagram)
+	ports     map[uint16]*Conn
+	pending   map[NodeID][]*Datagram
+	nextPort  uint16
+	stats     HostStats
+	closed    bool
+}
+
+// maxPending bounds the per-destination queue of datagrams awaiting route
+// discovery, mirroring AODV's small send buffer.
+const maxPending = 16
+
+func newHost(n *Network, id NodeID) *Host {
+	h := &Host{
+		net:      n,
+		id:       id,
+		inbox:    make(chan Frame, n.cfg.QueueLen),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		handlers: make(map[FrameKind]func(Frame)),
+		ports:    make(map[uint16]*Conn),
+		pending:  make(map[NodeID][]*Datagram),
+		nextPort: 32768,
+	}
+	go h.dispatch()
+	return h
+}
+
+// ID returns the node's address.
+func (h *Host) ID() NodeID { return h.id }
+
+// Network returns the medium the host is attached to.
+func (h *Host) Network() *Network { return h.net }
+
+// Neighbors returns the node's current radio neighbourhood.
+func (h *Host) Neighbors() []NodeID { return h.net.Neighbors(h.id) }
+
+// Stats returns a snapshot of the host's forwarding counters.
+func (h *Host) Stats() HostStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
+
+// SendFrame transmits a raw link frame (routing protocols use this).
+func (h *Host) SendFrame(dst NodeID, kind FrameKind, payload []byte) error {
+	return h.net.send(Frame{Src: h.id, Dst: dst, Kind: kind, Payload: payload})
+}
+
+// HandleFrames registers fn as the receiver for incoming frames of the given
+// kind. KindData is handled internally by the forwarding engine and cannot
+// be overridden.
+func (h *Host) HandleFrames(kind FrameKind, fn func(Frame)) error {
+	if kind == KindData {
+		return fmt.Errorf("netem: KindData is reserved for the forwarding engine")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.handlers[kind] = fn
+	return nil
+}
+
+// SetRouteProvider attaches the routing protocol used for multihop
+// forwarding.
+func (h *Host) SetRouteProvider(rp RouteProvider) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.rp = rp
+}
+
+// SetDefaultHandler installs fn as the last-resort handler for datagrams
+// whose destination is not a known MANET node. It is how the Connection
+// Provider tunnels Internet-bound traffic to a gateway. fn reports whether
+// it consumed the datagram.
+func (h *Host) SetDefaultHandler(fn func(*Datagram) bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.defaultFn = fn
+}
+
+// SetSink puts the host in promiscuous delivery mode: every datagram
+// addressed to this host is handed to fn instead of the port table. Gateway
+// tunnel endpoints use this to capture all traffic for a tunnelled node.
+func (h *Host) SetSink(fn func(*Datagram)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sink = fn
+}
+
+// enqueue is called by the medium to deliver a frame; it drops on overflow
+// like a saturated radio.
+func (h *Host) enqueue(f Frame) {
+	select {
+	case h.inbox <- f:
+	case <-h.stop:
+	default:
+		// queue full: silently dropped, as radio congestion would.
+	}
+}
+
+func (h *Host) dispatch() {
+	defer close(h.done)
+	for {
+		select {
+		case <-h.stop:
+			return
+		case f := <-h.inbox:
+			h.handleFrame(f)
+		}
+	}
+}
+
+func (h *Host) handleFrame(f Frame) {
+	if f.Kind == KindData {
+		dg, err := unmarshalDatagram(f.Payload)
+		if err != nil {
+			return
+		}
+		h.routeDatagram(dg, false)
+		return
+	}
+	h.mu.Lock()
+	fn := h.handlers[f.Kind]
+	h.mu.Unlock()
+	if fn != nil {
+		fn(f)
+	}
+}
+
+// SendDatagram originates a datagram from this host. Datagrams to the host
+// itself are delivered via loopback without touching the medium — exactly
+// how the paper's VoIP application reaches its outbound proxy on localhost.
+func (h *Host) SendDatagram(dg *Datagram) error {
+	if dg.SrcNode == "" {
+		dg.SrcNode = h.id
+	}
+	if dg.TTL == 0 {
+		dg.TTL = DefaultTTL
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return ErrClosed
+	}
+	h.stats.Sent++
+	h.mu.Unlock()
+	return h.routeDatagram(dg, true)
+}
+
+// routeDatagram delivers locally, forwards toward the next hop, or queues
+// pending route discovery. origin marks datagrams created on this host.
+func (h *Host) routeDatagram(dg *Datagram, origin bool) error {
+	if dg.DstNode == h.id {
+		h.deliverLocal(dg)
+		return nil
+	}
+	if !origin {
+		if dg.TTL <= 1 {
+			h.mu.Lock()
+			h.stats.TTLExpired++
+			h.mu.Unlock()
+			return nil
+		}
+		dg.TTL--
+	}
+	h.mu.Lock()
+	rp := h.rp
+	defFn := h.defaultFn
+	h.mu.Unlock()
+
+	if rp != nil {
+		if next, ok := rp.NextHop(dg.DstNode); ok {
+			return h.transmit(dg, next, !origin)
+		}
+	}
+	// No route. Try the default handler (gateway tunnel) first: it owns
+	// destinations outside the MANET.
+	if defFn != nil && defFn(dg) {
+		return nil
+	}
+	if rp == nil {
+		h.mu.Lock()
+		h.stats.NoRoute++
+		h.mu.Unlock()
+		return ErrNoRoute
+	}
+	// Queue and trigger route discovery (reactive protocols).
+	h.mu.Lock()
+	q := h.pending[dg.DstNode]
+	first := len(q) == 0
+	if len(q) >= maxPending {
+		h.stats.NoRoute++
+		h.mu.Unlock()
+		return ErrNoRoute
+	}
+	h.pending[dg.DstNode] = append(q, dg)
+	h.mu.Unlock()
+	if first {
+		dst := dg.DstNode
+		rp.RequestRoute(dst, func(found bool) { h.flushPending(dst, found) })
+	}
+	return nil
+}
+
+func (h *Host) flushPending(dst NodeID, found bool) {
+	h.mu.Lock()
+	q := h.pending[dst]
+	delete(h.pending, dst)
+	rp := h.rp
+	defFn := h.defaultFn
+	if !found {
+		h.stats.NoRoute += int64(len(q))
+	}
+	h.mu.Unlock()
+	if !found {
+		// Last chance: hand queued datagrams to the default handler so
+		// that Internet destinations still leave via the gateway.
+		if defFn != nil {
+			for _, dg := range q {
+				defFn(dg)
+			}
+		}
+		return
+	}
+	for _, dg := range q {
+		if next, ok := rp.NextHop(dst); ok {
+			_ = h.transmit(dg, next, false)
+		}
+	}
+}
+
+func (h *Host) transmit(dg *Datagram, nextHop NodeID, forwarded bool) error {
+	if forwarded {
+		h.mu.Lock()
+		h.stats.Forwarded++
+		h.mu.Unlock()
+	}
+	payload, err := marshalDatagram(dg)
+	if err != nil {
+		return err
+	}
+	return h.net.send(Frame{Src: h.id, Dst: nextHop, Kind: KindData, Payload: payload})
+}
+
+// InjectDatagram delivers dg as if it had arrived from the network; gateway
+// tunnel endpoints use this to hand decapsulated traffic to the local stack.
+func (h *Host) InjectDatagram(dg *Datagram) {
+	h.routeDatagram(dg, false)
+}
+
+func (h *Host) deliverLocal(dg *Datagram) {
+	h.mu.Lock()
+	if sink := h.sink; sink != nil {
+		h.stats.Received++
+		h.mu.Unlock()
+		sink(dg)
+		return
+	}
+	c := h.ports[dg.DstPort]
+	if c == nil {
+		h.mu.Unlock()
+		return
+	}
+	h.stats.Received++
+	h.mu.Unlock()
+	select {
+	case c.in <- dg:
+	default:
+		h.mu.Lock()
+		h.stats.PortDrops++
+		h.mu.Unlock()
+	}
+}
+
+// Listen binds a UDP-like port. Port 0 picks an ephemeral port.
+func (h *Host) Listen(port uint16) (*Conn, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, ErrClosed
+	}
+	if port == 0 {
+		for range 65535 {
+			h.nextPort++
+			if h.nextPort < 32768 {
+				h.nextPort = 32768
+			}
+			if _, used := h.ports[h.nextPort]; !used {
+				port = h.nextPort
+				break
+			}
+		}
+		if port == 0 {
+			return nil, ErrPortInUse
+		}
+	} else if _, used := h.ports[port]; used {
+		return nil, ErrPortInUse
+	}
+	c := &Conn{
+		host: h,
+		port: port,
+		in:   make(chan *Datagram, 256),
+		stop: make(chan struct{}),
+	}
+	h.ports[port] = c
+	return c, nil
+}
+
+// Close shuts the host down, closing all its ports.
+func (h *Host) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	conns := make([]*Conn, 0, len(h.ports))
+	for _, c := range h.ports {
+		conns = append(conns, c)
+	}
+	h.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	close(h.stop)
+	<-h.done
+}
+
+// Conn is a bound UDP-like port on a Host.
+type Conn struct {
+	host *Host
+	port uint16
+	in   chan *Datagram
+
+	closeOnce sync.Once
+	stop      chan struct{}
+}
+
+// LocalPort returns the bound port number.
+func (c *Conn) LocalPort() uint16 { return c.port }
+
+// Host returns the owning host.
+func (c *Conn) Host() *Host { return c.host }
+
+// WriteTo sends data to the given node and port, stamped with this port as
+// the source.
+func (c *Conn) WriteTo(data []byte, dst NodeID, dstPort uint16) error {
+	dg := &Datagram{
+		SrcNode: c.host.id,
+		DstNode: dst,
+		SrcPort: c.port,
+		DstPort: dstPort,
+		Data:    append([]byte(nil), data...),
+	}
+	return c.host.SendDatagram(dg)
+}
+
+// Recv blocks until a datagram arrives or the connection closes; ok is false
+// once closed and drained.
+func (c *Conn) Recv() (*Datagram, bool) {
+	select {
+	case dg := <-c.in:
+		return dg, true
+	case <-c.stop:
+		// Drain anything already queued before reporting closed.
+		select {
+		case dg := <-c.in:
+			return dg, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// TryRecv returns a queued datagram without blocking.
+func (c *Conn) TryRecv() (*Datagram, bool) {
+	select {
+	case dg := <-c.in:
+		return dg, true
+	default:
+		return nil, false
+	}
+}
+
+// Close unbinds the port.
+func (c *Conn) Close() {
+	c.closeOnce.Do(func() {
+		c.host.mu.Lock()
+		delete(c.host.ports, c.port)
+		c.host.mu.Unlock()
+		close(c.stop)
+	})
+}

@@ -1,0 +1,63 @@
+package netem
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDelayJitterSpreadsArrivals sends a burst of frames over a jittery
+// link and verifies arrival spacing varies (and that everything arrives).
+func TestDelayJitterSpreadsArrivals(t *testing.T) {
+	n := NewNetwork(Config{
+		BaseDelay:   200 * time.Microsecond,
+		DelayJitter: 3 * time.Millisecond,
+		Seed:        5,
+	})
+	defer n.Close()
+	ha, err := n.AddHost("a", Position{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := n.AddHost("b", Position{X: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha.SetRouteProvider(staticRoutes{"b": "b"})
+	ca, err := ha.Listen(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := hb.Listen(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ca.Close()
+	defer cb.Close()
+
+	const frames = 30
+	for range frames {
+		if err := ca.WriteTo([]byte("x"), "b", 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var arrivals []time.Time
+	deadline := time.After(10 * time.Second)
+	for len(arrivals) < frames {
+		if _, ok := cb.TryRecv(); ok {
+			arrivals = append(arrivals, time.Now())
+			continue
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("only %d/%d frames arrived", len(arrivals), frames)
+		case <-time.After(100 * time.Microsecond):
+		}
+	}
+	// With 3ms of jitter on a burst sent back-to-back, the arrival window
+	// must span at least ~1ms (no jitter would deliver within ~base delay
+	// of each other).
+	span := arrivals[len(arrivals)-1].Sub(arrivals[0])
+	if span < time.Millisecond {
+		t.Fatalf("arrival span %v too tight for 3ms jitter", span)
+	}
+}

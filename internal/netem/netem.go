@@ -1,0 +1,158 @@
+// Package netem emulates a mobile ad hoc network (MANET) at packet level.
+//
+// It replaces the paper's physical testbed (ten Debian laptops and iPAQ
+// handhelds on ad hoc WiFi, with firewalls forcing multihop paths): nodes
+// have 2-D positions and a unit-disk radio range, frames between nodes in
+// range experience configurable delay and loss, and frames between nodes out
+// of range are never delivered — exactly the property the paper's firewalls
+// enforced.
+//
+// Layering mirrors a real stack:
+//
+//   - Network is the shared radio medium. It delivers link-layer Frames
+//     (unicast or local broadcast) between neighbouring nodes.
+//   - Host is a node's network stack: it forwards Datagrams across multiple
+//     hops using a routing protocol's next-hop table (see RouteProvider) and
+//     exposes UDP-like ports (Listen/Conn) to applications such as the SIP
+//     proxy, the SLP agent and RTP media.
+//
+// Routing protocols (internal/routing/aodv, internal/routing/olsr) sit
+// between the two: they exchange control traffic as Frames of KindRouting
+// and feed the Host's forwarding engine.
+package netem
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies a node on the MANET, e.g. "10.0.0.1". The zero value is
+// reserved for broadcast.
+type NodeID string
+
+// Broadcast is the link-local broadcast destination: every node currently in
+// radio range of the sender receives the frame.
+const Broadcast NodeID = ""
+
+// FrameKind says which layer a link frame belongs to.
+type FrameKind uint8
+
+// Frame kinds. Routing control traffic is kept distinct from data traffic so
+// that routing handlers (used for SLP piggybacking) only see control frames,
+// and so that overhead experiments can account for each class separately.
+const (
+	KindRouting FrameKind = iota + 1
+	KindData
+	// KindService carries standalone service-discovery traffic (the
+	// multicast-SLP baseline); the paper's piggybacked MANET SLP sends
+	// none of these.
+	KindService
+)
+
+// String implements fmt.Stringer.
+func (k FrameKind) String() string {
+	switch k {
+	case KindRouting:
+		return "routing"
+	case KindData:
+		return "data"
+	case KindService:
+		return "service"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Frame is a link-layer frame on the radio medium. Dst == Broadcast delivers
+// to all neighbours of Src.
+type Frame struct {
+	Src     NodeID
+	Dst     NodeID
+	Kind    FrameKind
+	Payload []byte
+}
+
+// Datagram is the network/transport-layer unit carried inside KindData
+// frames: an IP+UDP-like header plus application payload, forwarded hop by
+// hop toward DstNode.
+type Datagram struct {
+	SrcNode NodeID
+	DstNode NodeID
+	SrcPort uint16
+	DstPort uint16
+	TTL     uint8
+	Data    []byte
+}
+
+// DefaultTTL is the initial hop limit for datagrams, ample for the paper's
+// testbed scale and for our up-to-64-node simulations.
+const DefaultTTL = 32
+
+// Errors returned by the host stack.
+var (
+	ErrNoRoute      = errors.New("netem: no route to destination")
+	ErrPortInUse    = errors.New("netem: port already in use")
+	ErrClosed       = errors.New("netem: closed")
+	ErrUnknownNode  = errors.New("netem: unknown node")
+	ErrFrameTooBig  = errors.New("netem: frame exceeds MTU")
+	ErrSelfDelivery = errors.New("netem: datagram addressed to sender")
+)
+
+// MTU is the maximum link-frame payload, matching 802.11-style limits. The
+// SLP piggybacking code uses the remaining headroom of routing frames, so the
+// budget is enforced here.
+const MTU = 2304
+
+// MarshalDatagram encodes d into the wire format used on KindData frames.
+// It is exported for tunnel endpoints that encapsulate whole datagrams.
+func MarshalDatagram(d *Datagram) ([]byte, error) { return marshalDatagram(d) }
+
+// UnmarshalDatagram decodes the wire format produced by MarshalDatagram.
+func UnmarshalDatagram(b []byte) (*Datagram, error) { return unmarshalDatagram(b) }
+
+// marshalDatagram encodes d into wire format:
+//
+//	srcLen u8 | src | dstLen u8 | dst | srcPort u16 | dstPort u16 | ttl u8 | data
+func marshalDatagram(d *Datagram) ([]byte, error) {
+	if len(d.SrcNode) > 255 || len(d.DstNode) > 255 {
+		return nil, fmt.Errorf("netem: node id too long")
+	}
+	buf := make([]byte, 0, 2+len(d.SrcNode)+len(d.DstNode)+5+len(d.Data))
+	buf = append(buf, byte(len(d.SrcNode)))
+	buf = append(buf, d.SrcNode...)
+	buf = append(buf, byte(len(d.DstNode)))
+	buf = append(buf, d.DstNode...)
+	buf = binary.BigEndian.AppendUint16(buf, d.SrcPort)
+	buf = binary.BigEndian.AppendUint16(buf, d.DstPort)
+	buf = append(buf, d.TTL)
+	buf = append(buf, d.Data...)
+	return buf, nil
+}
+
+// unmarshalDatagram decodes wire format produced by marshalDatagram.
+func unmarshalDatagram(b []byte) (*Datagram, error) {
+	d := &Datagram{}
+	if len(b) < 1 {
+		return nil, fmt.Errorf("netem: short datagram")
+	}
+	n := int(b[0])
+	b = b[1:]
+	if len(b) < n+1 {
+		return nil, fmt.Errorf("netem: truncated src node")
+	}
+	d.SrcNode = NodeID(b[:n])
+	b = b[n:]
+	n = int(b[0])
+	b = b[1:]
+	if len(b) < n+5 {
+		return nil, fmt.Errorf("netem: truncated dst node")
+	}
+	d.DstNode = NodeID(b[:n])
+	b = b[n:]
+	d.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	d.DstPort = binary.BigEndian.Uint16(b[2:4])
+	d.TTL = b[4]
+	d.Data = append([]byte(nil), b[5:]...)
+	return d, nil
+}

@@ -1,0 +1,389 @@
+package netem
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"siphoc/internal/clock"
+)
+
+// Position is a node's 2-D location in metres.
+type Position struct {
+	X, Y float64
+}
+
+// Distance returns the Euclidean distance to q.
+func (p Position) Distance(q Position) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Config tunes the radio medium. The zero value is completed by defaults in
+// NewNetwork.
+type Config struct {
+	// Range is the unit-disk radio range in metres (default 100).
+	Range float64
+	// BaseDelay is the fixed per-frame propagation+processing delay
+	// (default 500µs). Zero delay delivers synchronously via the inbox.
+	BaseDelay time.Duration
+	// DelayJitter adds a uniformly random extra delay in [0, DelayJitter)
+	// per frame, modelling contention and queueing variance (default 0).
+	DelayJitter time.Duration
+	// BytesPerSecond models transmission time; 0 disables the size-
+	// dependent component (default 6.75 MB/s, ~54 Mbit/s 802.11g).
+	BytesPerSecond float64
+	// LossRate is the independent per-frame drop probability in [0,1).
+	LossRate float64
+	// Seed seeds the deterministic RNG used for losses (default 1).
+	Seed int64
+	// Clock drives delivery delays (default the system clock).
+	Clock clock.Clock
+	// QueueLen is each node's receive queue length; frames arriving at a
+	// full queue are dropped, as on a congested radio (default 1024).
+	QueueLen int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Range == 0 {
+		c.Range = 100
+	}
+	if c.BaseDelay == 0 {
+		c.BaseDelay = 500 * time.Microsecond
+	}
+	if c.BytesPerSecond == 0 {
+		c.BytesPerSecond = 54e6 / 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Clock == nil {
+		c.Clock = clock.New()
+	}
+	if c.QueueLen == 0 {
+		c.QueueLen = 1024
+	}
+	return c
+}
+
+// Network is the shared simulated radio medium. All methods are safe for
+// concurrent use.
+type Network struct {
+	cfg Config
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	hosts     map[NodeID]*Host
+	positions map[NodeID]Position
+	// linkOverride forces a link up (true) or down (false) regardless of
+	// distance; used by partition/failure-injection tests.
+	linkOverride map[linkKey]bool
+	stats        Stats
+	tap          func(Frame)
+	udp          *udpUnderlay
+	closed       bool
+
+	wg sync.WaitGroup
+}
+
+type linkKey struct{ a, b NodeID }
+
+func orderedKey(a, b NodeID) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+// NewNetwork creates an empty medium.
+func NewNetwork(cfg Config) *Network {
+	cfg = cfg.withDefaults()
+	return &Network{
+		cfg:          cfg,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		hosts:        make(map[NodeID]*Host),
+		positions:    make(map[NodeID]Position),
+		linkOverride: make(map[linkKey]bool),
+	}
+}
+
+// Clock returns the clock driving the medium.
+func (n *Network) Clock() clock.Clock { return n.cfg.Clock }
+
+// AddHost creates a node at pos and attaches its stack to the medium.
+func (n *Network) AddHost(id NodeID, pos Position) (*Host, error) {
+	if id == Broadcast {
+		return nil, fmt.Errorf("netem: node id must be non-empty")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := n.hosts[id]; ok {
+		return nil, fmt.Errorf("netem: duplicate node %q", id)
+	}
+	h := newHost(n, id)
+	n.hosts[id] = h
+	n.positions[id] = pos
+	return h, nil
+}
+
+// Host returns the stack for id, or nil.
+func (n *Network) Host(id NodeID) *Host {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.hosts[id]
+}
+
+// RemoveHost detaches and closes the node, simulating a crash or power-off.
+func (n *Network) RemoveHost(id NodeID) {
+	n.mu.Lock()
+	h := n.hosts[id]
+	delete(n.hosts, id)
+	delete(n.positions, id)
+	n.mu.Unlock()
+	if h != nil {
+		h.Close()
+	}
+}
+
+// SetPosition moves a node, changing its neighbourhood.
+func (n *Network) SetPosition(id NodeID, pos Position) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.hosts[id]; ok {
+		n.positions[id] = pos
+	}
+}
+
+// PositionOf returns the node's position.
+func (n *Network) PositionOf(id NodeID) (Position, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p, ok := n.positions[id]
+	return p, ok
+}
+
+// SetLink forces the link between a and b up or down irrespective of
+// positions. ClearLink restores distance-based connectivity.
+func (n *Network) SetLink(a, b NodeID, up bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.linkOverride[orderedKey(a, b)] = up
+}
+
+// ClearLink removes a SetLink override.
+func (n *Network) ClearLink(a, b NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.linkOverride, orderedKey(a, b))
+}
+
+// SetTap installs a packet-analyzer hook invoked synchronously for every
+// frame transmitted on the medium — the emulator's Wireshark, used to
+// reproduce the paper's Figure 5 capture. The tap must not call back into
+// the Network. Pass nil to remove.
+func (n *Network) SetTap(fn func(Frame)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.tap = fn
+}
+
+// SetLossRate changes the per-frame drop probability at runtime.
+func (n *Network) SetLossRate(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cfg.LossRate = p
+}
+
+// Neighbors returns the nodes currently in radio range of id, sorted.
+func (n *Network) Neighbors(id NodeID) []NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.neighborsLocked(id)
+}
+
+func (n *Network) neighborsLocked(id NodeID) []NodeID {
+	var out []NodeID
+	for other := range n.hosts {
+		if other == id {
+			continue
+		}
+		if n.connectedLocked(id, other) {
+			out = append(out, other)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (n *Network) connectedLocked(a, b NodeID) bool {
+	if up, ok := n.linkOverride[orderedKey(a, b)]; ok {
+		return up
+	}
+	pa, oka := n.positions[a]
+	pb, okb := n.positions[b]
+	return oka && okb && pa.Distance(pb) <= n.cfg.Range
+}
+
+// Nodes returns all attached node IDs, sorted.
+func (n *Network) Nodes() []NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]NodeID, 0, len(n.hosts))
+	for id := range n.hosts {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// send transmits a frame from the medium's point of view: computes the
+// receiver set, applies loss, and schedules delivery after the link delay.
+func (n *Network) send(f Frame) error {
+	if len(f.Payload) > MTU {
+		return ErrFrameTooBig
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	if _, ok := n.hosts[f.Src]; !ok {
+		n.mu.Unlock()
+		return ErrUnknownNode
+	}
+	var receivers []*Host
+	if f.Dst == Broadcast {
+		for _, nb := range n.neighborsLocked(f.Src) {
+			receivers = append(receivers, n.hosts[nb])
+		}
+	} else if h, ok := n.hosts[f.Dst]; ok && n.connectedLocked(f.Src, f.Dst) {
+		receivers = append(receivers, h)
+	}
+	n.stats.record(f, len(receivers))
+	tap := n.tap
+	delay := n.cfg.BaseDelay
+	if n.cfg.BytesPerSecond > 0 {
+		delay += time.Duration(float64(len(f.Payload)) / n.cfg.BytesPerSecond * float64(time.Second))
+	}
+	if n.cfg.DelayJitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(n.cfg.DelayJitter)))
+	}
+	if delay < 0 {
+		delay = 0 // UDP underlay: the real network provides latency
+	}
+	// Independent loss draw per receiver, under the lock for a
+	// deterministic RNG sequence.
+	kept := receivers[:0]
+	for _, h := range receivers {
+		if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+			n.stats.recordLoss()
+			continue
+		}
+		kept = append(kept, h)
+	}
+	clk := n.cfg.Clock
+	if len(kept) > 0 && !n.closed {
+		n.wg.Add(1)
+		go func(receivers []*Host, f Frame) {
+			defer n.wg.Done()
+			if delay > 0 {
+				clk.Sleep(delay)
+			}
+			for _, h := range receivers {
+				h.enqueue(f)
+			}
+		}(append([]*Host(nil), kept...), f)
+	}
+	udp := n.udp
+	n.mu.Unlock()
+	if udp != nil {
+		udp.transmit(f)
+	}
+	if tap != nil {
+		tap(f)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of medium-level counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// ResetStats zeroes the counters (used between experiment phases).
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = Stats{}
+}
+
+// Close shuts the medium and all hosts down and waits for in-flight
+// deliveries to finish.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	hosts := make([]*Host, 0, len(n.hosts))
+	for _, h := range n.hosts {
+		hosts = append(hosts, h)
+	}
+	udp := n.udp
+	n.mu.Unlock()
+	if udp != nil {
+		udp.close()
+	}
+	for _, h := range hosts {
+		h.Close()
+	}
+	n.wg.Wait()
+}
+
+// Stats counts traffic on the medium, split by frame kind — the measurement
+// backing experiment E9 (discovery overhead).
+type Stats struct {
+	RoutingFrames int64
+	RoutingBytes  int64
+	DataFrames    int64
+	DataBytes     int64
+	ServiceFrames int64
+	ServiceBytes  int64
+	// Deliveries counts receiver-side frame copies (a broadcast with k
+	// neighbours counts k).
+	Deliveries int64
+	// Lost counts copies dropped by the loss model.
+	Lost int64
+}
+
+func (s *Stats) record(f Frame, receivers int) {
+	switch f.Kind {
+	case KindRouting:
+		s.RoutingFrames++
+		s.RoutingBytes += int64(len(f.Payload))
+	case KindService:
+		s.ServiceFrames++
+		s.ServiceBytes += int64(len(f.Payload))
+	default:
+		s.DataFrames++
+		s.DataBytes += int64(len(f.Payload))
+	}
+	s.Deliveries += int64(receivers)
+}
+
+func (s *Stats) recordLoss() { s.Lost++ }
+
+// TotalFrames returns the count of all transmitted frames.
+func (s Stats) TotalFrames() int64 { return s.RoutingFrames + s.DataFrames + s.ServiceFrames }
+
+// TotalBytes returns the byte count of all transmitted frames.
+func (s Stats) TotalBytes() int64 { return s.RoutingBytes + s.DataBytes + s.ServiceBytes }

@@ -1,0 +1,607 @@
+// Package aodv implements the Ad hoc On-demand Distance Vector routing
+// protocol (Perkins & Royer, RFC 3561) over the netem link layer. It is one
+// of the two routing protocols supported by the paper's system ("currently,
+// our system supports two routing protocols, AODV and OLSR") and the one
+// whose route replies are shown carrying piggybacked SIP contact information
+// in the paper's Figure 5.
+package aodv
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"siphoc/internal/clock"
+	"siphoc/internal/netem"
+	"siphoc/internal/routing"
+)
+
+// Config tunes protocol timing. The zero value is completed with defaults
+// close to RFC 3561; simulations typically scale the intervals down.
+type Config struct {
+	// HelloInterval is the period of liveness broadcasts (default 1s).
+	HelloInterval time.Duration
+	// AllowedHelloLoss is how many missed hellos break a link (default 2).
+	AllowedHelloLoss int
+	// ActiveRouteTimeout is the route lifetime (default 30s).
+	ActiveRouteTimeout time.Duration
+	// DiscoveryTimeout is how long one RREQ attempt waits (default 1s).
+	DiscoveryTimeout time.Duration
+	// RREQRetries is the number of additional discovery attempts
+	// (default 2).
+	RREQRetries int
+	// NetDiameter bounds RREQ flooding (default 32 hops).
+	NetDiameter uint8
+	// ExpandingRing enables RFC 3561 §6.4 expanding-ring search: route
+	// requests probe small TTL rings (2 then 5 hops, with shorter
+	// timeouts) before flooding the whole network, trading worst-case
+	// latency for much smaller floods when destinations are close. The
+	// zero value disables it; DefaultConfig and SimConfig enable it.
+	ExpandingRing bool
+	// EnableHello turns periodic hellos on (default true). Tests that
+	// drive the protocol manually can disable them.
+	EnableHello bool
+	// Clock is the time source (default the system clock).
+	Clock clock.Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.HelloInterval == 0 {
+		c.HelloInterval = time.Second
+	}
+	if c.AllowedHelloLoss == 0 {
+		c.AllowedHelloLoss = 2
+	}
+	if c.ActiveRouteTimeout == 0 {
+		c.ActiveRouteTimeout = 30 * time.Second
+	}
+	if c.DiscoveryTimeout == 0 {
+		c.DiscoveryTimeout = time.Second
+	}
+	if c.RREQRetries == 0 {
+		c.RREQRetries = 2
+	}
+	if c.NetDiameter == 0 {
+		c.NetDiameter = 32
+	}
+	if c.Clock == nil {
+		c.Clock = clock.New()
+	}
+	return c
+}
+
+// DefaultConfig returns RFC-flavoured defaults with hellos enabled.
+func DefaultConfig() Config {
+	c := Config{EnableHello: true, ExpandingRing: true}.withDefaults()
+	return c
+}
+
+// SimConfig returns timing scaled for fast in-memory simulation.
+func SimConfig() Config {
+	return Config{
+		HelloInterval:      50 * time.Millisecond,
+		AllowedHelloLoss:   3,
+		ActiveRouteTimeout: 10 * time.Second,
+		DiscoveryTimeout:   150 * time.Millisecond,
+		RREQRetries:        2,
+		EnableHello:        true,
+		ExpandingRing:      true,
+	}.withDefaults()
+}
+
+// Stats counts protocol activity for overhead experiments.
+type Stats struct {
+	RREQSent   int64
+	RREQFwd    int64
+	RREPSent   int64
+	RREPFwd    int64
+	RERRSent   int64
+	HelloSent  int64
+	Discovered int64 // successful route discoveries originated here
+	Failed     int64 // discoveries that exhausted all retries
+}
+
+type seenKey struct {
+	orig netem.NodeID
+	id   uint32
+}
+
+type discovery struct {
+	callbacks []func(bool)
+	success   chan struct{} // closed when a route appears
+}
+
+// Protocol is an AODV instance bound to one host.
+type Protocol struct {
+	host *netem.Host
+	cfg  Config
+	clk  clock.Clock
+
+	mu        sync.Mutex
+	seq       uint32
+	rreqID    uint32
+	table     *routing.Table
+	seen      map[seenKey]time.Time
+	neighbors map[netem.NodeID]time.Time
+	pending   map[netem.NodeID]*discovery
+	pb        routing.PiggybackHandler
+	stats     Stats
+	started   bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+var _ routing.Protocol = (*Protocol)(nil)
+
+// New creates an AODV instance for host. Call Start to begin operation.
+func New(host *netem.Host, cfg Config) *Protocol {
+	cfg = cfg.withDefaults()
+	return &Protocol{
+		host:      host,
+		cfg:       cfg,
+		clk:       cfg.Clock,
+		table:     routing.NewTable(),
+		seen:      make(map[seenKey]time.Time),
+		neighbors: make(map[netem.NodeID]time.Time),
+		pending:   make(map[netem.NodeID]*discovery),
+		stop:      make(chan struct{}),
+	}
+}
+
+// Name implements routing.Protocol.
+func (p *Protocol) Name() string { return "AODV" }
+
+// SetPiggyback implements routing.Protocol.
+func (p *Protocol) SetPiggyback(h routing.PiggybackHandler) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pb = h
+}
+
+// Start implements routing.Protocol.
+func (p *Protocol) Start() error {
+	p.mu.Lock()
+	if p.started {
+		p.mu.Unlock()
+		return fmt.Errorf("aodv: already started")
+	}
+	p.started = true
+	p.mu.Unlock()
+	if err := p.host.HandleFrames(netem.KindRouting, p.onFrame); err != nil {
+		return err
+	}
+	p.host.SetRouteProvider(p)
+	if p.cfg.EnableHello {
+		p.wg.Add(1)
+		go p.helloLoop()
+	}
+	return nil
+}
+
+// Stop implements routing.Protocol.
+func (p *Protocol) Stop() {
+	p.mu.Lock()
+	if !p.started {
+		p.mu.Unlock()
+		return
+	}
+	p.started = false
+	pending := p.pending
+	p.pending = make(map[netem.NodeID]*discovery)
+	p.mu.Unlock()
+	close(p.stop)
+	p.wg.Wait()
+	for _, d := range pending {
+		for _, cb := range d.callbacks {
+			cb(false)
+		}
+	}
+}
+
+// Stats returns a snapshot of protocol counters.
+func (p *Protocol) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Routes implements routing.Protocol.
+func (p *Protocol) Routes() []routing.Entry {
+	return p.table.Snapshot(p.clk.Now())
+}
+
+// NextHop implements netem.RouteProvider.
+func (p *Protocol) NextHop(dst netem.NodeID) (netem.NodeID, bool) {
+	e, ok := p.table.Lookup(dst, p.clk.Now())
+	if !ok {
+		return "", false
+	}
+	return e.NextHop, true
+}
+
+// RequestRoute implements netem.RouteProvider: it floods an RREQ and invokes
+// done once a route is installed or all retries are exhausted.
+func (p *Protocol) RequestRoute(dst netem.NodeID, done func(bool)) {
+	if _, ok := p.NextHop(dst); ok {
+		done(true)
+		return
+	}
+	p.mu.Lock()
+	if !p.started {
+		p.mu.Unlock()
+		done(false)
+		return
+	}
+	if d, ok := p.pending[dst]; ok {
+		d.callbacks = append(d.callbacks, done)
+		p.mu.Unlock()
+		return
+	}
+	d := &discovery{callbacks: []func(bool){done}, success: make(chan struct{})}
+	p.pending[dst] = d
+	p.mu.Unlock()
+
+	p.wg.Add(1)
+	go p.discover(dst, d)
+}
+
+type rreqAttempt struct {
+	ttl     uint8
+	timeout time.Duration
+}
+
+// attemptPlan returns the RREQ schedule: expanding rings first (when
+// enabled), then network-wide floods for the configured retries.
+func (p *Protocol) attemptPlan() []rreqAttempt {
+	var plan []rreqAttempt
+	if p.cfg.ExpandingRing {
+		for _, ttl := range []uint8{2, 5} {
+			if ttl >= p.cfg.NetDiameter {
+				continue
+			}
+			// Ring traversal time scales with the ring radius, with a
+			// floor so tiny rings still get a sane round trip.
+			t := p.cfg.DiscoveryTimeout * time.Duration(ttl) / 8
+			if floor := p.cfg.DiscoveryTimeout / 4; t < floor {
+				t = floor
+			}
+			plan = append(plan, rreqAttempt{ttl: ttl, timeout: t})
+		}
+	}
+	for range 1 + p.cfg.RREQRetries {
+		plan = append(plan, rreqAttempt{ttl: p.cfg.NetDiameter, timeout: p.cfg.DiscoveryTimeout})
+	}
+	return plan
+}
+
+func (p *Protocol) discover(dst netem.NodeID, d *discovery) {
+	defer p.wg.Done()
+	for _, a := range p.attemptPlan() {
+		p.sendRREQ(dst, a.ttl)
+		timer := p.clk.NewTimer(a.timeout)
+		select {
+		case <-d.success:
+			timer.Stop()
+			p.finishDiscovery(dst, d, true)
+			return
+		case <-p.stop:
+			timer.Stop()
+			p.finishDiscovery(dst, d, false)
+			return
+		case <-timer.C():
+		}
+	}
+	p.finishDiscovery(dst, d, false)
+}
+
+func (p *Protocol) finishDiscovery(dst netem.NodeID, d *discovery, ok bool) {
+	p.mu.Lock()
+	if p.pending[dst] == d {
+		delete(p.pending, dst)
+	}
+	cbs := d.callbacks
+	d.callbacks = nil
+	if ok {
+		p.stats.Discovered++
+	} else {
+		p.stats.Failed++
+	}
+	p.mu.Unlock()
+	for _, cb := range cbs {
+		cb(ok)
+	}
+}
+
+func (p *Protocol) sendRREQ(dst netem.NodeID, ttl uint8) {
+	p.mu.Lock()
+	p.seq++
+	p.rreqID++
+	m := &RREQ{
+		ID:         p.rreqID,
+		TTL:        ttl,
+		Orig:       p.host.ID(),
+		OrigSeq:    p.seq,
+		Dst:        dst,
+		UnknownSeq: true,
+	}
+	// Mark our own RREQ as seen so neighbours' rebroadcasts are ignored.
+	p.seen[seenKey{m.Orig, m.ID}] = p.clk.Now()
+	p.stats.RREQSent++
+	p.mu.Unlock()
+	p.sendControl(netem.Broadcast, KindRREQ, m.Marshal())
+}
+
+// sendControl wraps body in the routing envelope, offers the piggyback
+// handler its extension slot, and transmits.
+func (p *Protocol) sendControl(dst netem.NodeID, kind uint8, body []byte) {
+	p.mu.Lock()
+	pb := p.pb
+	p.mu.Unlock()
+	env := &routing.Envelope{Proto: routing.ProtoAODV, Kind: kind, Body: body}
+	if pb != nil {
+		env.Ext = pb.Outgoing(routing.Outgoing{
+			Proto:  routing.ProtoAODV,
+			Kind:   kind,
+			Kind2:  KindName(kind),
+			Dst:    dst,
+			Budget: routing.ExtBudget(len(body)),
+		})
+	}
+	raw, err := env.Marshal()
+	if err != nil {
+		return
+	}
+	_ = p.host.SendFrame(dst, netem.KindRouting, raw)
+}
+
+func (p *Protocol) onFrame(f netem.Frame) {
+	env, err := routing.ParseEnvelope(f.Payload)
+	if err != nil || env.Proto != routing.ProtoAODV {
+		return
+	}
+	p.touchNeighbor(f.Src)
+	if len(env.Ext) > 0 {
+		p.mu.Lock()
+		pb := p.pb
+		p.mu.Unlock()
+		if pb != nil {
+			pb.Incoming(routing.Incoming{
+				From:  f.Src,
+				Proto: env.Proto,
+				Kind:  env.Kind,
+				Kind2: KindName(env.Kind),
+				Ext:   env.Ext,
+			})
+		}
+	}
+	switch env.Kind {
+	case KindRREQ:
+		if m, err := ParseRREQ(env.Body); err == nil {
+			p.onRREQ(f.Src, m)
+		}
+	case KindRREP:
+		if m, err := ParseRREP(env.Body); err == nil {
+			p.onRREP(f.Src, m)
+		}
+	case KindRERR:
+		if m, err := ParseRERR(env.Body); err == nil {
+			p.onRERR(f.Src, m)
+		}
+	case KindHello:
+		// touchNeighbor above already recorded liveness.
+	}
+}
+
+// touchNeighbor refreshes the 1-hop route and liveness record for a
+// neighbour we just heard.
+func (p *Protocol) touchNeighbor(nb netem.NodeID) {
+	now := p.clk.Now()
+	p.mu.Lock()
+	p.neighbors[nb] = now
+	p.mu.Unlock()
+	p.table.Upsert(routing.Entry{
+		Dst:     nb,
+		NextHop: nb,
+		Hops:    1,
+		Expires: now.Add(p.neighborLifetime()),
+	})
+}
+
+func (p *Protocol) neighborLifetime() time.Duration {
+	if p.cfg.EnableHello {
+		return time.Duration(p.cfg.AllowedHelloLoss+1) * p.cfg.HelloInterval
+	}
+	return p.cfg.ActiveRouteTimeout
+}
+
+func (p *Protocol) onRREQ(from netem.NodeID, m *RREQ) {
+	now := p.clk.Now()
+	if m.Orig == p.host.ID() {
+		return // our own flood echoed back
+	}
+	// Install/refresh the reverse route toward the originator.
+	p.installRoute(m.Orig, from, int(m.HopCount)+1, m.OrigSeq)
+
+	key := seenKey{m.Orig, m.ID}
+	p.mu.Lock()
+	if t, dup := p.seen[key]; dup && now.Sub(t) < 2*p.cfg.DiscoveryTimeout*time.Duration(1+p.cfg.RREQRetries) {
+		p.mu.Unlock()
+		return
+	}
+	p.seen[key] = now
+	p.gcSeenLocked(now)
+	p.mu.Unlock()
+
+	if m.Dst == p.host.ID() {
+		// We are the destination: answer with our own sequence number.
+		p.mu.Lock()
+		if m.DstSeq > p.seq {
+			p.seq = m.DstSeq
+		}
+		p.seq++
+		rep := &RREP{
+			HopCount:   0,
+			Orig:       m.Orig,
+			Dst:        p.host.ID(),
+			DstSeq:     p.seq,
+			LifetimeMs: uint32(p.cfg.ActiveRouteTimeout / time.Millisecond),
+		}
+		p.stats.RREPSent++
+		p.mu.Unlock()
+		p.sendControl(from, KindRREP, rep.Marshal())
+		return
+	}
+	// Intermediate node with a fresh-enough route may answer on behalf of
+	// the destination.
+	if e, ok := p.table.Lookup(m.Dst, now); ok && !m.UnknownSeq && e.SeqNo >= m.DstSeq && e.SeqNo > 0 {
+		rep := &RREP{
+			HopCount:   uint8(e.Hops),
+			Orig:       m.Orig,
+			Dst:        m.Dst,
+			DstSeq:     e.SeqNo,
+			LifetimeMs: uint32(p.cfg.ActiveRouteTimeout / time.Millisecond),
+		}
+		p.mu.Lock()
+		p.stats.RREPSent++
+		p.mu.Unlock()
+		p.sendControl(from, KindRREP, rep.Marshal())
+		return
+	}
+	// Otherwise keep flooding.
+	if m.TTL <= 1 {
+		return
+	}
+	fwd := *m
+	fwd.TTL--
+	fwd.HopCount++
+	p.mu.Lock()
+	p.stats.RREQFwd++
+	p.mu.Unlock()
+	p.sendControl(netem.Broadcast, KindRREQ, fwd.Marshal())
+}
+
+func (p *Protocol) onRREP(from netem.NodeID, m *RREP) {
+	// Install the forward route toward the destination.
+	p.installRoute(m.Dst, from, int(m.HopCount)+1, m.DstSeq)
+	if m.Orig == p.host.ID() {
+		return // discovery completed; installRoute signalled it
+	}
+	// Forward along the reverse route toward the originator.
+	e, ok := p.table.Lookup(m.Orig, p.clk.Now())
+	if !ok {
+		return
+	}
+	fwd := *m
+	fwd.HopCount++
+	p.mu.Lock()
+	p.stats.RREPFwd++
+	p.mu.Unlock()
+	p.sendControl(e.NextHop, KindRREP, fwd.Marshal())
+}
+
+func (p *Protocol) onRERR(from netem.NodeID, m *RERR) {
+	var cascade []Unreachable
+	now := p.clk.Now()
+	for _, u := range m.Unreachable {
+		if e, ok := p.table.Lookup(u.Dst, now); ok && e.NextHop == from {
+			p.table.Remove(u.Dst)
+			cascade = append(cascade, u)
+		}
+	}
+	if len(cascade) > 0 {
+		p.mu.Lock()
+		p.stats.RERRSent++
+		p.mu.Unlock()
+		p.sendControl(netem.Broadcast, KindRERR, (&RERR{Unreachable: cascade}).Marshal())
+	}
+}
+
+// installRoute applies the AODV freshness rule and signals any discovery
+// waiting for this destination.
+func (p *Protocol) installRoute(dst, nextHop netem.NodeID, hops int, seq uint32) {
+	if dst == p.host.ID() {
+		return
+	}
+	p.table.UpsertIfFresher(routing.Entry{
+		Dst:     dst,
+		NextHop: nextHop,
+		Hops:    hops,
+		SeqNo:   seq,
+		Expires: p.clk.Now().Add(p.cfg.ActiveRouteTimeout),
+	})
+	p.mu.Lock()
+	d, ok := p.pending[dst]
+	if ok {
+		select {
+		case <-d.success:
+			ok = false
+		default:
+		}
+		if ok {
+			close(d.success)
+		}
+	}
+	p.mu.Unlock()
+}
+
+func (p *Protocol) gcSeenLocked(now time.Time) {
+	if len(p.seen) < 4096 {
+		return
+	}
+	horizon := 2 * p.cfg.DiscoveryTimeout * time.Duration(1+p.cfg.RREQRetries)
+	for k, t := range p.seen {
+		if now.Sub(t) > horizon {
+			delete(p.seen, k)
+		}
+	}
+}
+
+func (p *Protocol) helloLoop() {
+	defer p.wg.Done()
+	for {
+		timer := p.clk.NewTimer(p.cfg.HelloInterval)
+		select {
+		case <-p.stop:
+			timer.Stop()
+			return
+		case <-timer.C():
+		}
+		p.mu.Lock()
+		seq := p.seq
+		p.stats.HelloSent++
+		p.mu.Unlock()
+		p.sendControl(netem.Broadcast, KindHello, (&Hello{Seq: seq}).Marshal())
+		p.expireNeighbors()
+	}
+}
+
+// expireNeighbors detects broken links from missed hellos and emits RERRs
+// for routes through the lost neighbour.
+func (p *Protocol) expireNeighbors() {
+	now := p.clk.Now()
+	deadline := time.Duration(p.cfg.AllowedHelloLoss) * p.cfg.HelloInterval
+	var lost []netem.NodeID
+	p.mu.Lock()
+	for nb, last := range p.neighbors {
+		if now.Sub(last) > deadline {
+			delete(p.neighbors, nb)
+			lost = append(lost, nb)
+		}
+	}
+	p.mu.Unlock()
+	for _, nb := range lost {
+		removed := p.table.RemoveByNextHop(nb)
+		if len(removed) == 0 {
+			continue
+		}
+		rerr := &RERR{}
+		for _, e := range removed {
+			rerr.Unreachable = append(rerr.Unreachable, Unreachable{Dst: e.Dst, Seq: e.SeqNo + 1})
+		}
+		p.mu.Lock()
+		p.stats.RERRSent++
+		p.mu.Unlock()
+		p.sendControl(netem.Broadcast, KindRERR, rerr.Marshal())
+	}
+}

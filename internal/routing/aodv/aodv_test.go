@@ -1,0 +1,393 @@
+package aodv
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"siphoc/internal/netem"
+	"siphoc/internal/routing"
+)
+
+func TestRREQRoundTrip(t *testing.T) {
+	in := &RREQ{
+		ID: 42, HopCount: 3, TTL: 30,
+		Orig: "10.0.0.1", OrigSeq: 7,
+		Dst: "10.0.0.9", DstSeq: 5, UnknownSeq: true,
+	}
+	out, err := ParseRREQ(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("mismatch: %+v vs %+v", in, out)
+	}
+}
+
+func TestMessageCodecsQuick(t *testing.T) {
+	rreq := func(id uint32, hc, ttl uint8, orig, dst string, os, ds uint32, unk bool) bool {
+		if len(orig) > 1000 || len(dst) > 1000 {
+			return true
+		}
+		in := &RREQ{ID: id, HopCount: hc, TTL: ttl, Orig: netem.NodeID(orig), OrigSeq: os,
+			Dst: netem.NodeID(dst), DstSeq: ds, UnknownSeq: unk}
+		out, err := ParseRREQ(in.Marshal())
+		return err == nil && reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(rreq, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatalf("RREQ: %v", err)
+	}
+	rrep := func(hc uint8, orig, dst string, seq, life uint32) bool {
+		if len(orig) > 1000 || len(dst) > 1000 {
+			return true
+		}
+		in := &RREP{HopCount: hc, Orig: netem.NodeID(orig), Dst: netem.NodeID(dst), DstSeq: seq, LifetimeMs: life}
+		out, err := ParseRREP(in.Marshal())
+		return err == nil && reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(rrep, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatalf("RREP: %v", err)
+	}
+	hello := func(seq uint32) bool {
+		out, err := ParseHello((&Hello{Seq: seq}).Marshal())
+		return err == nil && out.Seq == seq
+	}
+	if err := quick.Check(hello, nil); err != nil {
+		t.Fatalf("HELLO: %v", err)
+	}
+}
+
+func TestRERRCodec(t *testing.T) {
+	in := &RERR{Unreachable: []Unreachable{{Dst: "a", Seq: 1}, {Dst: "b", Seq: 9}}}
+	out, err := ParseRERR(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("mismatch: %+v vs %+v", in, out)
+	}
+	if _, err := ParseRERR([]byte{5}); err == nil {
+		t.Fatal("truncated RERR accepted")
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, b := range [][]byte{nil, {1}, {1, 2, 3}} {
+		if _, err := ParseRREQ(b); err == nil {
+			t.Fatalf("ParseRREQ(%v) accepted", b)
+		}
+		if _, err := ParseRREP(b); err == nil {
+			t.Fatalf("ParseRREP(%v) accepted", b)
+		}
+	}
+}
+
+// startChain builds an n-node chain running AODV and returns the network,
+// hosts and protocols. Cleanup is registered on t.
+func startChain(t *testing.T, n int) (*netem.Network, []*netem.Host, []*Protocol) {
+	t.Helper()
+	net := netem.NewNetwork(netem.Config{BaseDelay: 100 * time.Microsecond})
+	t.Cleanup(net.Close)
+	hosts, err := netem.Chain(net, n, 90, "10.0.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	protos := make([]*Protocol, n)
+	for i, h := range hosts {
+		protos[i] = New(h, SimConfig())
+		if err := protos[i].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, p := range protos {
+			p.Stop()
+		}
+	})
+	return net, hosts, protos
+}
+
+func TestRouteDiscoveryOverChain(t *testing.T) {
+	_, hosts, protos := startChain(t, 5)
+	src, dst := protos[0], hosts[4].ID()
+
+	done := make(chan bool, 1)
+	src.RequestRoute(dst, func(ok bool) { done <- ok })
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("route discovery failed")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("discovery timed out")
+	}
+	nh, ok := src.NextHop(dst)
+	if !ok || nh != hosts[1].ID() {
+		t.Fatalf("NextHop = %v,%v; want %v", nh, ok, hosts[1].ID())
+	}
+	// Every relay must now know the forward route.
+	for i := 1; i < 4; i++ {
+		if nh, ok := protos[i].NextHop(dst); !ok || nh != hosts[i+1].ID() {
+			t.Fatalf("relay %d NextHop = %v,%v", i, nh, ok)
+		}
+	}
+	if protos[0].Stats().Discovered != 1 {
+		t.Fatalf("Discovered = %d", protos[0].Stats().Discovered)
+	}
+}
+
+func TestEndToEndDatagramViaAODV(t *testing.T) {
+	_, hosts, _ := startChain(t, 4)
+	cs, err := hosts[0].Listen(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := hosts[3].Listen(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+	defer cd.Close()
+	if err := cs.WriteTo([]byte("voice"), hosts[3].ID(), 200); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case <-deadline:
+			t.Fatal("datagram never arrived")
+		default:
+		}
+		if dg, ok := cd.TryRecv(); ok {
+			if string(dg.Data) != "voice" {
+				t.Fatalf("payload = %q", dg.Data)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestDiscoveryFailsForUnreachable(t *testing.T) {
+	_, _, protos := startChain(t, 2)
+	done := make(chan bool, 1)
+	protos[0].RequestRoute("10.9.9.9", func(ok bool) { done <- ok })
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("discovered a route to a nonexistent node")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("discovery never concluded")
+	}
+	if protos[0].Stats().Failed != 1 {
+		t.Fatalf("Failed = %d", protos[0].Stats().Failed)
+	}
+}
+
+func TestConcurrentDiscoveriesCoalesce(t *testing.T) {
+	_, hosts, protos := startChain(t, 3)
+	var wg sync.WaitGroup
+	results := make(chan bool, 8)
+	for range 8 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ch := make(chan bool, 1)
+			protos[0].RequestRoute(hosts[2].ID(), func(ok bool) { ch <- ok })
+			results <- <-ch
+		}()
+	}
+	wg.Wait()
+	close(results)
+	for ok := range results {
+		if !ok {
+			t.Fatal("coalesced discovery failed")
+		}
+	}
+	// All eight callers share at most (1+retries) RREQ transmissions.
+	if s := protos[0].Stats(); s.RREQSent > int64(1+SimConfig().RREQRetries) {
+		t.Fatalf("RREQSent = %d; coalescing broken", s.RREQSent)
+	}
+}
+
+func TestLinkBreakTriggersRERR(t *testing.T) {
+	net, hosts, protos := startChain(t, 4)
+	done := make(chan bool, 1)
+	protos[0].RequestRoute(hosts[3].ID(), func(ok bool) { done <- ok })
+	if ok := <-done; !ok {
+		t.Fatal("initial discovery failed")
+	}
+	// Kill the last node; its upstream neighbour must detect the loss and
+	// the stale route must disappear at the source.
+	net.RemoveHost(hosts[3].ID())
+	deadline := time.After(10 * time.Second)
+	for {
+		if _, ok := protos[0].NextHop(hosts[3].ID()); !ok {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatal("stale route survived link break")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+func TestRouteRepairAfterPartitionHeals(t *testing.T) {
+	net, hosts, protos := startChain(t, 3)
+	mid := hosts[1].ID()
+	// Partition: drop the middle links.
+	net.SetLink(hosts[0].ID(), mid, false)
+	ch := make(chan bool, 1)
+	protos[0].RequestRoute(hosts[2].ID(), func(ok bool) { ch <- ok })
+	if ok := <-ch; ok {
+		t.Fatal("discovery succeeded across a partition")
+	}
+	// Heal and retry.
+	net.ClearLink(hosts[0].ID(), mid)
+	ch2 := make(chan bool, 1)
+	protos[0].RequestRoute(hosts[2].ID(), func(ok bool) { ch2 <- ok })
+	select {
+	case ok := <-ch2:
+		if !ok {
+			t.Fatal("discovery failed after partition healed")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("discovery timed out after heal")
+	}
+}
+
+type capturingHandler struct {
+	mu       sync.Mutex
+	ext      []byte
+	incoming []routing.Incoming
+	budgets  []int
+}
+
+func (c *capturingHandler) Outgoing(msg routing.Outgoing) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.budgets = append(c.budgets, msg.Budget)
+	return c.ext
+}
+
+func (c *capturingHandler) Incoming(msg routing.Incoming) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.incoming = append(c.incoming, msg)
+}
+
+func TestPiggybackExtensionDelivered(t *testing.T) {
+	net := netem.NewNetwork(netem.Config{BaseDelay: 100 * time.Microsecond})
+	defer net.Close()
+	hosts, err := netem.Chain(net, 2, 50, "n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := New(hosts[0], SimConfig())
+	receiver := New(hosts[1], SimConfig())
+	hs := &capturingHandler{ext: []byte("service:sip://alice")}
+	hr := &capturingHandler{}
+	sender.SetPiggyback(hs)
+	receiver.SetPiggyback(hr)
+	if err := sender.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := receiver.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Stop()
+	defer receiver.Stop()
+
+	done := make(chan bool, 1)
+	sender.RequestRoute(hosts[1].ID(), func(ok bool) { done <- ok })
+	if ok := <-done; !ok {
+		t.Fatal("discovery failed")
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		hr.mu.Lock()
+		n := len(hr.incoming)
+		var first routing.Incoming
+		if n > 0 {
+			first = hr.incoming[0]
+		}
+		hr.mu.Unlock()
+		if n > 0 {
+			if string(first.Ext) != "service:sip://alice" {
+				t.Fatalf("ext = %q", first.Ext)
+			}
+			if first.Proto != routing.ProtoAODV {
+				t.Fatalf("proto = %d", first.Proto)
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("extension never delivered")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	// Budgets offered must stay within the MTU budget rule.
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	for _, b := range hs.budgets {
+		if b <= 0 || b > routing.ExtBudget(0) {
+			t.Fatalf("budget out of range: %d", b)
+		}
+	}
+}
+
+func TestStopIsIdempotentAndFailsPending(t *testing.T) {
+	net := netem.NewNetwork(netem.Config{BaseDelay: 100 * time.Microsecond})
+	defer net.Close()
+	h, err := net.AddHost("solo", netem.Position{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(h, SimConfig())
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan bool, 1)
+	p.RequestRoute("ghost", func(ok bool) { done <- ok })
+	p.Stop()
+	p.Stop()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("pending discovery reported success after Stop")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending discovery never completed after Stop")
+	}
+	if err := p.Start(); err == nil {
+		// Restart after stop is not supported; a fresh instance is.
+		t.Skip("restart unexpectedly supported")
+	}
+}
+
+func TestFreshnessRulePrefersHigherSeq(t *testing.T) {
+	tbl := routing.NewTable()
+	now := time.Now()
+	tbl.UpsertIfFresher(routing.Entry{Dst: "d", NextHop: "a", Hops: 2, SeqNo: 5, Expires: now.Add(time.Hour)})
+	// Older seqno must not replace.
+	if tbl.UpsertIfFresher(routing.Entry{Dst: "d", NextHop: "b", Hops: 1, SeqNo: 4, Expires: now.Add(time.Hour)}) {
+		t.Fatal("stale route replaced fresher one")
+	}
+	// Same seqno, shorter path must replace.
+	if !tbl.UpsertIfFresher(routing.Entry{Dst: "d", NextHop: "c", Hops: 1, SeqNo: 5, Expires: now.Add(time.Hour)}) {
+		t.Fatal("shorter route at same freshness rejected")
+	}
+	// Higher seqno always replaces, even if longer.
+	if !tbl.UpsertIfFresher(routing.Entry{Dst: "d", NextHop: "e", Hops: 9, SeqNo: 6, Expires: now.Add(time.Hour)}) {
+		t.Fatal("fresher route rejected")
+	}
+	e, ok := tbl.Lookup("d", now)
+	if !ok || e.NextHop != "e" {
+		t.Fatalf("final route = %+v, %v", e, ok)
+	}
+}

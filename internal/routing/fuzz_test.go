@@ -1,0 +1,31 @@
+package routing
+
+import (
+	"testing"
+)
+
+// FuzzParseEnvelope: any input either errors or round-trips.
+func FuzzParseEnvelope(f *testing.F) {
+	good, _ := (&Envelope{Proto: ProtoAODV, Kind: 2, Body: []byte("body"), Ext: []byte("ext")}).Marshal()
+	f.Add(good)
+	f.Add([]byte{1, 1, 0, 0, 0, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := ParseEnvelope(data)
+		if err != nil {
+			return
+		}
+		raw, err := e.Marshal()
+		if err != nil {
+			t.Fatalf("accepted envelope fails to marshal: %v", err)
+		}
+		e2, err := ParseEnvelope(raw)
+		if err != nil {
+			t.Fatalf("marshal output unparseable: %v", err)
+		}
+		if e2.Proto != e.Proto || e2.Kind != e.Kind ||
+			string(e2.Body) != string(e.Body) || string(e2.Ext) != string(e.Ext) {
+			t.Fatalf("round trip drift: %+v vs %+v", e, e2)
+		}
+	})
+}

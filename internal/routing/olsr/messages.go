@@ -1,0 +1,120 @@
+package olsr
+
+import (
+	"fmt"
+
+	"siphoc/internal/netem"
+	"siphoc/internal/wire"
+)
+
+// Message kinds carried in the routing envelope for ProtoOLSR.
+const (
+	KindHello uint8 = iota + 1
+	KindTC
+)
+
+// KindName returns the RFC 3626 message name.
+func KindName(k uint8) string {
+	switch k {
+	case KindHello:
+		return "HELLO"
+	case KindTC:
+		return "TC"
+	default:
+		return fmt.Sprintf("kind(%d)", k)
+	}
+}
+
+// Link codes advertised for neighbours in HELLO messages (RFC 3626 link
+// types, reduced to the two we need).
+const (
+	LinkAsym uint8 = 1 // heard, not confirmed bidirectional
+	LinkSym  uint8 = 2 // confirmed bidirectional
+)
+
+// HelloNeighbor is one neighbour entry in a HELLO.
+type HelloNeighbor struct {
+	Addr netem.NodeID
+	Link uint8
+	MPR  bool // the sender selected this neighbour as an MPR
+}
+
+// Hello is the periodic 1-hop broadcast used for link sensing, neighbour
+// detection and MPR signalling (RFC 3626 §6).
+type Hello struct {
+	Neighbors []HelloNeighbor
+}
+
+// Marshal encodes the hello body.
+func (m *Hello) Marshal() []byte {
+	w := wire.NewWriter(8 + 24*len(m.Neighbors))
+	w.U16(uint16(len(m.Neighbors)))
+	for _, nb := range m.Neighbors {
+		w.String(string(nb.Addr))
+		w.U8(nb.Link)
+		if nb.MPR {
+			w.U8(1)
+		} else {
+			w.U8(0)
+		}
+	}
+	return w.Bytes()
+}
+
+// ParseHello decodes a hello body.
+func ParseHello(b []byte) (*Hello, error) {
+	r := wire.NewReader(b)
+	n := int(r.U16())
+	m := &Hello{}
+	for range n {
+		nb := HelloNeighbor{Addr: netem.NodeID(r.String())}
+		nb.Link = r.U8()
+		nb.MPR = r.U8() == 1
+		m.Neighbors = append(m.Neighbors, nb)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("olsr: parse HELLO: %w", err)
+	}
+	return m, nil
+}
+
+// TC is a topology-control message flooded through the MPR backbone
+// (RFC 3626 §9): the originator advertises links to its MPR selectors.
+type TC struct {
+	Orig      netem.NodeID
+	Seq       uint16 // per-originator message sequence for duplicate detection
+	ANSN      uint16 // advertised neighbour sequence number
+	TTL       uint8
+	Selectors []netem.NodeID
+}
+
+// Marshal encodes the TC body.
+func (m *TC) Marshal() []byte {
+	w := wire.NewWriter(16 + 20*len(m.Selectors))
+	w.String(string(m.Orig))
+	w.U16(m.Seq)
+	w.U16(m.ANSN)
+	w.U8(m.TTL)
+	w.U16(uint16(len(m.Selectors)))
+	for _, s := range m.Selectors {
+		w.String(string(s))
+	}
+	return w.Bytes()
+}
+
+// ParseTC decodes a TC body.
+func ParseTC(b []byte) (*TC, error) {
+	r := wire.NewReader(b)
+	m := &TC{Orig: netem.NodeID(r.String())}
+	m.Seq = r.U16()
+	m.ANSN = r.U16()
+	m.TTL = r.U8()
+	n := int(r.U16())
+	for range n {
+		m.Selectors = append(m.Selectors, netem.NodeID(r.String()))
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("olsr: parse TC: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,601 @@
+// Package olsr implements the Optimized Link State Routing protocol
+// (Clausen & Jacquet, RFC 3626) over the netem link layer: periodic HELLO
+// messages for link sensing and MPR selection, TC messages flooded through
+// the MPR backbone, and shortest-path route computation over the resulting
+// topology. It is the proactive counterpart to AODV in the paper's system.
+package olsr
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"siphoc/internal/clock"
+	"siphoc/internal/netem"
+	"siphoc/internal/routing"
+)
+
+// Config tunes protocol timing; the zero value is completed with RFC 3626
+// defaults. Simulations scale the intervals down with SimConfig.
+type Config struct {
+	// HelloInterval is the HELLO emission period (default 2s).
+	HelloInterval time.Duration
+	// TCInterval is the TC emission period (default 5s).
+	TCInterval time.Duration
+	// NeighborHold is how long a silent neighbour stays valid
+	// (default 3×HelloInterval).
+	NeighborHold time.Duration
+	// TopologyHold is how long unrefreshed topology tuples stay valid
+	// (default 3×TCInterval).
+	TopologyHold time.Duration
+	// RouteWait is how long RequestRoute waits for convergence before
+	// giving up (default 3×TCInterval).
+	RouteWait time.Duration
+	// MaxTTL bounds TC flooding (default 32).
+	MaxTTL uint8
+	// Clock is the time source (default the system clock).
+	Clock clock.Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.HelloInterval == 0 {
+		c.HelloInterval = 2 * time.Second
+	}
+	if c.TCInterval == 0 {
+		c.TCInterval = 5 * time.Second
+	}
+	if c.NeighborHold == 0 {
+		c.NeighborHold = 3 * c.HelloInterval
+	}
+	if c.TopologyHold == 0 {
+		c.TopologyHold = 3 * c.TCInterval
+	}
+	if c.RouteWait == 0 {
+		c.RouteWait = 3 * c.TCInterval
+	}
+	if c.MaxTTL == 0 {
+		c.MaxTTL = 32
+	}
+	if c.Clock == nil {
+		c.Clock = clock.New()
+	}
+	return c
+}
+
+// DefaultConfig returns RFC 3626 timing.
+func DefaultConfig() Config { return Config{}.withDefaults() }
+
+// SimConfig returns timing scaled for fast in-memory simulation.
+func SimConfig() Config {
+	return Config{
+		HelloInterval: 40 * time.Millisecond,
+		TCInterval:    80 * time.Millisecond,
+		// Cold-start convergence of a long chain takes several
+		// hello+TC rounds; give callers ample slack.
+		RouteWait: 3 * time.Second,
+	}.withDefaults()
+}
+
+// Stats counts protocol activity for overhead experiments.
+type Stats struct {
+	HelloSent int64
+	TCSent    int64
+	TCFwd     int64
+	Recompute int64
+}
+
+type linkState struct {
+	lastHeard time.Time
+	sym       bool
+}
+
+type topoKey struct {
+	last netem.NodeID // advertising node
+	dest netem.NodeID // its MPR selector
+}
+
+type topoVal struct {
+	ansn    uint16
+	expires time.Time
+}
+
+type dupKey struct {
+	orig netem.NodeID
+	seq  uint16
+}
+
+// Protocol is an OLSR instance bound to one host.
+type Protocol struct {
+	host *netem.Host
+	cfg  Config
+	clk  clock.Clock
+
+	mu        sync.Mutex
+	links     map[netem.NodeID]*linkState
+	twoHop    map[netem.NodeID]map[netem.NodeID]bool // sym neighbour -> its sym neighbours
+	mprs      map[netem.NodeID]bool                  // our chosen MPRs
+	selectors map[netem.NodeID]time.Time             // neighbours that chose us as MPR
+	topology  map[topoKey]topoVal
+	dups      map[dupKey]time.Time
+	seq       uint16
+	ansn      uint16
+	table     *routing.Table
+	pb        routing.PiggybackHandler
+	stats     Stats
+	started   bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+var _ routing.Protocol = (*Protocol)(nil)
+
+// New creates an OLSR instance for host. Call Start to begin operation.
+func New(host *netem.Host, cfg Config) *Protocol {
+	cfg = cfg.withDefaults()
+	return &Protocol{
+		host:      host,
+		cfg:       cfg,
+		clk:       cfg.Clock,
+		links:     make(map[netem.NodeID]*linkState),
+		twoHop:    make(map[netem.NodeID]map[netem.NodeID]bool),
+		mprs:      make(map[netem.NodeID]bool),
+		selectors: make(map[netem.NodeID]time.Time),
+		topology:  make(map[topoKey]topoVal),
+		dups:      make(map[dupKey]time.Time),
+		table:     routing.NewTable(),
+		stop:      make(chan struct{}),
+	}
+}
+
+// Name implements routing.Protocol.
+func (p *Protocol) Name() string { return "OLSR" }
+
+// SetPiggyback implements routing.Protocol.
+func (p *Protocol) SetPiggyback(h routing.PiggybackHandler) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pb = h
+}
+
+// Start implements routing.Protocol.
+func (p *Protocol) Start() error {
+	p.mu.Lock()
+	if p.started {
+		p.mu.Unlock()
+		return fmt.Errorf("olsr: already started")
+	}
+	p.started = true
+	p.mu.Unlock()
+	if err := p.host.HandleFrames(netem.KindRouting, p.onFrame); err != nil {
+		return err
+	}
+	p.host.SetRouteProvider(p)
+	p.wg.Add(2)
+	go p.helloLoop()
+	go p.tcLoop()
+	return nil
+}
+
+// Stop implements routing.Protocol.
+func (p *Protocol) Stop() {
+	p.mu.Lock()
+	if !p.started {
+		p.mu.Unlock()
+		return
+	}
+	p.started = false
+	p.mu.Unlock()
+	close(p.stop)
+	p.wg.Wait()
+}
+
+// Stats returns a snapshot of protocol counters.
+func (p *Protocol) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Routes implements routing.Protocol.
+func (p *Protocol) Routes() []routing.Entry {
+	return p.table.Snapshot(p.clk.Now())
+}
+
+// NextHop implements netem.RouteProvider.
+func (p *Protocol) NextHop(dst netem.NodeID) (netem.NodeID, bool) {
+	e, ok := p.table.Lookup(dst, p.clk.Now())
+	if !ok {
+		return "", false
+	}
+	return e.NextHop, true
+}
+
+// RequestRoute implements netem.RouteProvider. OLSR is proactive: either the
+// table already converged and contains dst, or we wait briefly for
+// convergence (e.g. right after startup or a topology change).
+func (p *Protocol) RequestRoute(dst netem.NodeID, done func(bool)) {
+	if _, ok := p.NextHop(dst); ok {
+		done(true)
+		return
+	}
+	p.mu.Lock()
+	started := p.started
+	p.mu.Unlock()
+	if !started {
+		done(false)
+		return
+	}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		deadline := p.clk.Now().Add(p.cfg.RouteWait)
+		poll := p.cfg.HelloInterval / 2
+		if poll <= 0 {
+			poll = 10 * time.Millisecond
+		}
+		for {
+			if _, ok := p.NextHop(dst); ok {
+				done(true)
+				return
+			}
+			if p.clk.Now().After(deadline) {
+				done(false)
+				return
+			}
+			timer := p.clk.NewTimer(poll)
+			select {
+			case <-p.stop:
+				timer.Stop()
+				done(false)
+				return
+			case <-timer.C():
+			}
+		}
+	}()
+}
+
+// MPRs returns the currently selected multipoint relays (diagnostics).
+func (p *Protocol) MPRs() []netem.NodeID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]netem.NodeID, 0, len(p.mprs))
+	for id := range p.mprs {
+		out = append(out, id)
+	}
+	return out
+}
+
+func (p *Protocol) sendControl(kind uint8, body []byte) {
+	p.mu.Lock()
+	pb := p.pb
+	p.mu.Unlock()
+	env := &routing.Envelope{Proto: routing.ProtoOLSR, Kind: kind, Body: body}
+	if pb != nil {
+		env.Ext = pb.Outgoing(routing.Outgoing{
+			Proto:  routing.ProtoOLSR,
+			Kind:   kind,
+			Kind2:  KindName(kind),
+			Dst:    netem.Broadcast,
+			Budget: routing.ExtBudget(len(body)),
+		})
+	}
+	raw, err := env.Marshal()
+	if err != nil {
+		return
+	}
+	_ = p.host.SendFrame(netem.Broadcast, netem.KindRouting, raw)
+}
+
+func (p *Protocol) onFrame(f netem.Frame) {
+	env, err := routing.ParseEnvelope(f.Payload)
+	if err != nil || env.Proto != routing.ProtoOLSR {
+		return
+	}
+	if len(env.Ext) > 0 {
+		p.mu.Lock()
+		pb := p.pb
+		p.mu.Unlock()
+		if pb != nil {
+			pb.Incoming(routing.Incoming{
+				From:  f.Src,
+				Proto: env.Proto,
+				Kind:  env.Kind,
+				Kind2: KindName(env.Kind),
+				Ext:   env.Ext,
+			})
+		}
+	}
+	switch env.Kind {
+	case KindHello:
+		if m, err := ParseHello(env.Body); err == nil {
+			p.onHello(f.Src, m)
+		}
+	case KindTC:
+		if m, err := ParseTC(env.Body); err == nil {
+			p.onTC(f.Src, m)
+		}
+	}
+}
+
+func (p *Protocol) onHello(from netem.NodeID, m *Hello) {
+	now := p.clk.Now()
+	self := p.host.ID()
+	p.mu.Lock()
+	ls, ok := p.links[from]
+	if !ok {
+		ls = &linkState{}
+		p.links[from] = ls
+	}
+	ls.lastHeard = now
+	// The link is symmetric once the neighbour lists us in its HELLO.
+	ls.sym = false
+	for _, nb := range m.Neighbors {
+		if nb.Addr == self {
+			ls.sym = true
+			if nb.MPR {
+				p.selectors[from] = now.Add(p.cfg.NeighborHold)
+			}
+		}
+	}
+	// Record the neighbour's symmetric neighbourhood for MPR selection.
+	set := make(map[netem.NodeID]bool, len(m.Neighbors))
+	for _, nb := range m.Neighbors {
+		if nb.Addr == self || nb.Link != LinkSym {
+			continue
+		}
+		set[nb.Addr] = true
+	}
+	p.twoHop[from] = set
+	p.mu.Unlock()
+	p.recompute()
+}
+
+func (p *Protocol) onTC(from netem.NodeID, m *TC) {
+	now := p.clk.Now()
+	if m.Orig == p.host.ID() {
+		return
+	}
+	p.mu.Lock()
+	key := dupKey{m.Orig, m.Seq}
+	if _, dup := p.dups[key]; dup {
+		p.mu.Unlock()
+		return
+	}
+	p.dups[key] = now
+	if len(p.dups) > 8192 {
+		for k, t := range p.dups {
+			if now.Sub(t) > p.cfg.TopologyHold {
+				delete(p.dups, k)
+			}
+		}
+	}
+	// Purge older-ANSN tuples from this originator, then install.
+	for k, v := range p.topology {
+		if k.last == m.Orig && ansnOlder(v.ansn, m.ANSN) {
+			delete(p.topology, k)
+		}
+	}
+	for _, sel := range m.Selectors {
+		k := topoKey{last: m.Orig, dest: sel}
+		if cur, ok := p.topology[k]; !ok || !ansnOlder(m.ANSN, cur.ansn) {
+			p.topology[k] = topoVal{ansn: m.ANSN, expires: now.Add(p.cfg.TopologyHold)}
+		}
+	}
+	// Default forwarding: retransmit only if the sender selected us as MPR.
+	_, isSelector := p.selectors[from]
+	p.mu.Unlock()
+	p.recompute()
+
+	if isSelector && m.TTL > 1 {
+		fwd := *m
+		fwd.TTL--
+		p.mu.Lock()
+		p.stats.TCFwd++
+		p.mu.Unlock()
+		p.sendControl(KindTC, fwd.Marshal())
+	}
+}
+
+// ansnOlder reports whether a is older than b with 16-bit wraparound.
+func ansnOlder(a, b uint16) bool {
+	return a != b && int16(a-b) < 0
+}
+
+func (p *Protocol) helloLoop() {
+	defer p.wg.Done()
+	for {
+		timer := p.clk.NewTimer(p.cfg.HelloInterval)
+		select {
+		case <-p.stop:
+			timer.Stop()
+			return
+		case <-timer.C():
+		}
+		p.expire()
+		p.sendHello()
+	}
+}
+
+func (p *Protocol) sendHello() {
+	p.mu.Lock()
+	m := &Hello{}
+	for nb, ls := range p.links {
+		link := LinkAsym
+		if ls.sym {
+			link = LinkSym
+		}
+		m.Neighbors = append(m.Neighbors, HelloNeighbor{
+			Addr: nb,
+			Link: link,
+			MPR:  p.mprs[nb],
+		})
+	}
+	p.stats.HelloSent++
+	p.mu.Unlock()
+	p.sendControl(KindHello, m.Marshal())
+}
+
+func (p *Protocol) tcLoop() {
+	defer p.wg.Done()
+	for {
+		timer := p.clk.NewTimer(p.cfg.TCInterval)
+		select {
+		case <-p.stop:
+			timer.Stop()
+			return
+		case <-timer.C():
+		}
+		p.sendTC()
+	}
+}
+
+func (p *Protocol) sendTC() {
+	p.mu.Lock()
+	if len(p.selectors) == 0 {
+		p.mu.Unlock()
+		return // only MPRs advertise topology
+	}
+	p.seq++
+	p.ansn++
+	m := &TC{Orig: p.host.ID(), Seq: p.seq, ANSN: p.ansn, TTL: p.cfg.MaxTTL}
+	for sel := range p.selectors {
+		m.Selectors = append(m.Selectors, sel)
+	}
+	p.stats.TCSent++
+	p.mu.Unlock()
+	p.sendControl(KindTC, m.Marshal())
+}
+
+// expire drops stale links, selectors and topology tuples.
+func (p *Protocol) expire() {
+	now := p.clk.Now()
+	changed := false
+	p.mu.Lock()
+	for nb, ls := range p.links {
+		if now.Sub(ls.lastHeard) > p.cfg.NeighborHold {
+			delete(p.links, nb)
+			delete(p.twoHop, nb)
+			changed = true
+		}
+	}
+	for nb, exp := range p.selectors {
+		if now.After(exp) {
+			delete(p.selectors, nb)
+		}
+	}
+	for k, v := range p.topology {
+		if now.After(v.expires) {
+			delete(p.topology, k)
+			changed = true
+		}
+	}
+	p.mu.Unlock()
+	if changed {
+		p.recompute()
+	}
+}
+
+// recompute reselects MPRs and rebuilds the route table (greedy MPR cover +
+// BFS shortest paths over 1-hop links and TC-advertised edges).
+func (p *Protocol) recompute() {
+	self := p.host.ID()
+	now := p.clk.Now()
+	p.mu.Lock()
+	p.stats.Recompute++
+	// --- MPR selection: greedy cover of the 2-hop neighbourhood.
+	symNbs := make([]netem.NodeID, 0, len(p.links))
+	for nb, ls := range p.links {
+		if ls.sym {
+			symNbs = append(symNbs, nb)
+		}
+	}
+	uncovered := make(map[netem.NodeID]bool)
+	for _, nb := range symNbs {
+		for two := range p.twoHop[nb] {
+			if two == self {
+				continue
+			}
+			if _, direct := p.links[two]; direct && p.links[two].sym {
+				continue // reachable in one hop anyway
+			}
+			uncovered[two] = true
+		}
+	}
+	mprs := make(map[netem.NodeID]bool)
+	for len(uncovered) > 0 {
+		var best netem.NodeID
+		bestCover := 0
+		for _, nb := range symNbs {
+			if mprs[nb] {
+				continue
+			}
+			cover := 0
+			for two := range p.twoHop[nb] {
+				if uncovered[two] {
+					cover++
+				}
+			}
+			if cover > bestCover || (cover == bestCover && cover > 0 && (best == "" || nb < best)) {
+				best, bestCover = nb, cover
+			}
+		}
+		if bestCover == 0 {
+			break // remaining 2-hop nodes are not coverable
+		}
+		mprs[best] = true
+		for two := range p.twoHop[best] {
+			delete(uncovered, two)
+		}
+	}
+	p.mprs = mprs
+
+	// --- Route computation: BFS over sym links + topology edges.
+	type hop struct {
+		next netem.NodeID
+		dist int
+	}
+	routes := make(map[netem.NodeID]hop, len(p.links)+len(p.topology))
+	queue := make([]netem.NodeID, 0, len(symNbs))
+	for _, nb := range symNbs {
+		routes[nb] = hop{next: nb, dist: 1}
+		queue = append(queue, nb)
+	}
+	// Adjacency from TC tuples: last -> dest (treated as bidirectional,
+	// since a TC edge reflects a symmetric MPR-selector link).
+	adj := make(map[netem.NodeID][]netem.NodeID)
+	for k, v := range p.topology {
+		if now.After(v.expires) {
+			continue
+		}
+		adj[k.last] = append(adj[k.last], k.dest)
+		adj[k.dest] = append(adj[k.dest], k.last)
+	}
+	// Also 2-hop sets give edges nb -> two.
+	for nb, set := range p.twoHop {
+		for two := range set {
+			adj[nb] = append(adj[nb], two)
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		curHop := routes[cur]
+		for _, nxt := range adj[cur] {
+			if nxt == self {
+				continue
+			}
+			if _, seen := routes[nxt]; seen {
+				continue
+			}
+			routes[nxt] = hop{next: curHop.next, dist: curHop.dist + 1}
+			queue = append(queue, nxt)
+		}
+	}
+	entries := make([]routing.Entry, 0, len(routes))
+	for dst, h := range routes {
+		entries = append(entries, routing.Entry{Dst: dst, NextHop: h.next, Hops: h.dist})
+	}
+	p.mu.Unlock()
+	p.table.Replace(entries)
+}

@@ -1,0 +1,275 @@
+// Package routing defines the contract between MANET routing protocols
+// (AODV, OLSR) and the rest of the system: the forwarding engine consumes
+// next hops via netem.RouteProvider, and the MANET SLP layer piggybacks
+// service information onto routing control messages through the
+// PiggybackHandler hook — the in-process equivalent of the paper's
+// libipq-based routing handler that captures and extends raw routing
+// packets.
+package routing
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"siphoc/internal/netem"
+)
+
+// Protocol numbers carried in the routing-frame envelope.
+const (
+	ProtoAODV uint8 = 1
+	ProtoOLSR uint8 = 2
+)
+
+// ProtoName returns a human-readable protocol name.
+func ProtoName(p uint8) string {
+	switch p {
+	case ProtoAODV:
+		return "AODV"
+	case ProtoOLSR:
+		return "OLSR"
+	default:
+		return fmt.Sprintf("proto(%d)", p)
+	}
+}
+
+// Protocol is a runnable MANET routing protocol bound to one host.
+type Protocol interface {
+	netem.RouteProvider
+	// Name returns the protocol name ("AODV", "OLSR").
+	Name() string
+	// Start begins protocol operation (periodic timers, frame handling).
+	Start() error
+	// Stop terminates the protocol and waits for its goroutines.
+	Stop()
+	// SetPiggyback installs the handler that may extend outgoing control
+	// messages and receives extensions found on incoming ones. Must be
+	// called before Start.
+	SetPiggyback(h PiggybackHandler)
+	// Routes returns a snapshot of the current routing table.
+	Routes() []Entry
+}
+
+// PiggybackHandler is the paper's "routing handler plugin": a software
+// module that receives routing packets and produces altered packets carrying
+// piggybacked service information.
+type PiggybackHandler interface {
+	// Outgoing is invoked for every control message about to be sent.
+	// It may return up to budget bytes of extension payload to attach,
+	// or nil to leave the message untouched.
+	Outgoing(msg Outgoing) []byte
+	// Incoming is invoked for every received control message that
+	// carries an extension.
+	Incoming(msg Incoming)
+}
+
+// Outgoing describes a control message about to leave the node.
+type Outgoing struct {
+	Proto  uint8
+	Kind   uint8
+	Kind2  string // human-readable kind, e.g. "RREP"
+	Dst    netem.NodeID
+	Budget int
+}
+
+// Incoming describes a received control message carrying an extension.
+type Incoming struct {
+	From  netem.NodeID
+	Proto uint8
+	Kind  uint8
+	Kind2 string
+	Ext   []byte
+}
+
+// Envelope is the wire format shared by all routing control frames:
+//
+//	proto u8 | kind u8 | bodyLen u16 | body | extLen u16 | ext
+//
+// The trailing extension slot is where MANET SLP payloads ride along,
+// mirroring the paper's packet-mangling approach (Figure 5 shows an AODV
+// route reply with encapsulated SIP contact information).
+type Envelope struct {
+	Proto uint8
+	Kind  uint8
+	Body  []byte
+	Ext   []byte
+}
+
+// Marshal encodes the envelope.
+func (e *Envelope) Marshal() ([]byte, error) {
+	if len(e.Body) > 0xffff || len(e.Ext) > 0xffff {
+		return nil, fmt.Errorf("routing: envelope section too large")
+	}
+	buf := make([]byte, 0, 6+len(e.Body)+len(e.Ext))
+	buf = append(buf, e.Proto, e.Kind)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.Body)))
+	buf = append(buf, e.Body...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.Ext)))
+	buf = append(buf, e.Ext...)
+	return buf, nil
+}
+
+// ParseEnvelope decodes a routing frame.
+func ParseEnvelope(b []byte) (*Envelope, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("routing: short envelope")
+	}
+	e := &Envelope{Proto: b[0], Kind: b[1]}
+	n := int(binary.BigEndian.Uint16(b[2:4]))
+	b = b[4:]
+	if len(b) < n+2 {
+		return nil, fmt.Errorf("routing: truncated body")
+	}
+	e.Body = append([]byte(nil), b[:n]...)
+	b = b[n:]
+	m := int(binary.BigEndian.Uint16(b[0:2]))
+	b = b[2:]
+	if len(b) < m {
+		return nil, fmt.Errorf("routing: truncated extension")
+	}
+	if m > 0 {
+		e.Ext = append([]byte(nil), b[:m]...)
+	}
+	return e, nil
+}
+
+// ExtBudget returns the extension space left for a control message whose
+// body is bodyLen bytes, keeping the whole frame within the link MTU.
+func ExtBudget(bodyLen int) int {
+	b := netem.MTU - 6 - bodyLen
+	if b < 0 {
+		return 0
+	}
+	if b > 0xffff {
+		b = 0xffff
+	}
+	return b
+}
+
+// Entry is one route-table row.
+type Entry struct {
+	Dst     netem.NodeID
+	NextHop netem.NodeID
+	Hops    int
+	SeqNo   uint32
+	Expires time.Time // zero means no expiry (proactive protocols)
+}
+
+// Table is a concurrency-safe route table shared by protocol
+// implementations. Expiry is evaluated lazily against the supplied clock
+// time on lookup.
+type Table struct {
+	mu      sync.Mutex
+	entries map[netem.NodeID]Entry
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	return &Table{entries: make(map[netem.NodeID]Entry)}
+}
+
+// Upsert installs or replaces the route for e.Dst.
+func (t *Table) Upsert(e Entry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries[e.Dst] = e
+}
+
+// UpsertIfFresher installs e only if it is fresher (higher seqno) or equally
+// fresh but shorter than the current route — the AODV route-selection rule.
+// It reports whether the table changed.
+func (t *Table) UpsertIfFresher(e Entry) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur, ok := t.entries[e.Dst]
+	if ok && cur.SeqNo > e.SeqNo {
+		return false
+	}
+	if ok && cur.SeqNo == e.SeqNo && cur.Hops <= e.Hops {
+		// Equally fresh but not shorter: keep the current route, but
+		// refresh its lifetime so active paths do not expire.
+		if e.Expires.After(cur.Expires) {
+			cur.Expires = e.Expires
+			t.entries[e.Dst] = cur
+		}
+		return false
+	}
+	t.entries[e.Dst] = e
+	return true
+}
+
+// Lookup returns the live route for dst at time now.
+func (t *Table) Lookup(dst netem.NodeID, now time.Time) (Entry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[dst]
+	if !ok {
+		return Entry{}, false
+	}
+	if !e.Expires.IsZero() && now.After(e.Expires) {
+		delete(t.entries, dst)
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// Remove deletes the route for dst, returning the removed entry if any.
+func (t *Table) Remove(dst netem.NodeID) (Entry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[dst]
+	if ok {
+		delete(t.entries, dst)
+	}
+	return e, ok
+}
+
+// RemoveByNextHop deletes all routes through nh and returns them — what a
+// node does when it detects a broken link before emitting an RERR.
+func (t *Table) RemoveByNextHop(nh netem.NodeID) []Entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var removed []Entry
+	for dst, e := range t.entries {
+		if e.NextHop == nh {
+			removed = append(removed, e)
+			delete(t.entries, dst)
+		}
+	}
+	sort.Slice(removed, func(i, j int) bool { return removed[i].Dst < removed[j].Dst })
+	return removed
+}
+
+// Replace swaps in a whole new table atomically (proactive recomputation).
+func (t *Table) Replace(entries []Entry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries = make(map[netem.NodeID]Entry, len(entries))
+	for _, e := range entries {
+		t.entries[e.Dst] = e
+	}
+}
+
+// Snapshot returns all live entries sorted by destination.
+func (t *Table) Snapshot(now time.Time) []Entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Entry, 0, len(t.entries))
+	for _, e := range t.entries {
+		if !e.Expires.IsZero() && now.After(e.Expires) {
+			continue
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dst < out[j].Dst })
+	return out
+}
+
+// Len returns the number of entries including possibly expired ones.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}

@@ -1,0 +1,144 @@
+package routing
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"siphoc/internal/netem"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	in := &Envelope{Proto: ProtoAODV, Kind: 2, Body: []byte("rrep-body"), Ext: []byte("slp-ext")}
+	raw, err := in.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseEnvelope(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("mismatch: %+v vs %+v", in, out)
+	}
+}
+
+func TestEnvelopeNoExt(t *testing.T) {
+	in := &Envelope{Proto: ProtoOLSR, Kind: 1, Body: []byte{1, 2}}
+	raw, err := in.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseEnvelope(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Ext != nil {
+		t.Fatalf("Ext = %v, want nil", out.Ext)
+	}
+}
+
+func TestEnvelopeQuick(t *testing.T) {
+	f := func(proto, kind uint8, body, ext []byte) bool {
+		if len(body) > 0xffff || len(ext) > 0xffff {
+			return true
+		}
+		in := &Envelope{Proto: proto, Kind: kind, Body: body, Ext: ext}
+		raw, err := in.Marshal()
+		if err != nil {
+			return false
+		}
+		out, err := ParseEnvelope(raw)
+		if err != nil {
+			return false
+		}
+		eq := func(a, b []byte) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+			return true
+		}
+		return out.Proto == proto && out.Kind == kind && eq(out.Body, body) && eq(out.Ext, ext)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnvelopeRejectsTruncation(t *testing.T) {
+	raw, err := (&Envelope{Proto: 1, Kind: 1, Body: []byte("abcdef"), Ext: []byte("xy")}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := range len(raw) {
+		if _, err := ParseEnvelope(raw[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestExtBudget(t *testing.T) {
+	if b := ExtBudget(0); b <= 0 || b > netem.MTU {
+		t.Fatalf("ExtBudget(0) = %d", b)
+	}
+	if b := ExtBudget(netem.MTU); b != 0 {
+		t.Fatalf("ExtBudget(MTU) = %d, want 0", b)
+	}
+	// A full-budget extension must produce a frame that fits the MTU.
+	body := make([]byte, 100)
+	ext := make([]byte, ExtBudget(len(body)))
+	raw, err := (&Envelope{Proto: 1, Kind: 1, Body: body, Ext: ext}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) > netem.MTU {
+		t.Fatalf("frame size %d exceeds MTU %d", len(raw), netem.MTU)
+	}
+}
+
+func TestTableExpiry(t *testing.T) {
+	tbl := NewTable()
+	now := time.Now()
+	tbl.Upsert(Entry{Dst: "d", NextHop: "n", Hops: 1, Expires: now.Add(time.Second)})
+	if _, ok := tbl.Lookup("d", now); !ok {
+		t.Fatal("live route not found")
+	}
+	if _, ok := tbl.Lookup("d", now.Add(2*time.Second)); ok {
+		t.Fatal("expired route returned")
+	}
+	// Zero expiry means eternal.
+	tbl.Upsert(Entry{Dst: "e", NextHop: "n"})
+	if _, ok := tbl.Lookup("e", now.Add(1000*time.Hour)); !ok {
+		t.Fatal("eternal route expired")
+	}
+}
+
+func TestTableRemoveByNextHop(t *testing.T) {
+	tbl := NewTable()
+	tbl.Upsert(Entry{Dst: "a", NextHop: "x"})
+	tbl.Upsert(Entry{Dst: "b", NextHop: "x"})
+	tbl.Upsert(Entry{Dst: "c", NextHop: "y"})
+	removed := tbl.RemoveByNextHop("x")
+	if len(removed) != 2 || removed[0].Dst != "a" || removed[1].Dst != "b" {
+		t.Fatalf("removed = %+v", removed)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+}
+
+func TestTableReplaceAndSnapshot(t *testing.T) {
+	tbl := NewTable()
+	tbl.Upsert(Entry{Dst: "old", NextHop: "x"})
+	tbl.Replace([]Entry{{Dst: "b", NextHop: "n"}, {Dst: "a", NextHop: "n"}})
+	snap := tbl.Snapshot(time.Now())
+	if len(snap) != 2 || snap[0].Dst != "a" || snap[1].Dst != "b" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}

@@ -1,0 +1,173 @@
+package rtp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func jbFrame(seq uint32) *Packet {
+	return NewVoiceFrame(1, seq, time.Unix(0, 0))
+}
+
+func TestJitterBufferInOrderPlayout(t *testing.T) {
+	jb := NewJitterBuffer(50 * time.Millisecond)
+	base := time.Unix(1000, 0)
+	for i := range uint32(5) {
+		jb.Put(jbFrame(i), base.Add(time.Duration(i)*FrameDuration))
+	}
+	// Nothing is due before the playout delay.
+	if got := jb.PopDue(base.Add(20 * time.Millisecond)); len(got) != 0 {
+		t.Fatalf("early pop returned %d frames", len(got))
+	}
+	// Everything is due well after.
+	got := jb.PopDue(base.Add(time.Second))
+	if len(got) != 5 {
+		t.Fatalf("pop returned %d frames", len(got))
+	}
+	for i, p := range got {
+		if p.Seq != uint16(i) {
+			t.Fatalf("frame %d has seq %d", i, p.Seq)
+		}
+	}
+	if jb.Played() != 5 || jb.Late() != 0 || jb.Missing() != 0 {
+		t.Fatalf("counters: played=%d late=%d missing=%d", jb.Played(), jb.Late(), jb.Missing())
+	}
+}
+
+func TestJitterBufferReordersPackets(t *testing.T) {
+	jb := NewJitterBuffer(50 * time.Millisecond)
+	base := time.Unix(1000, 0)
+	for _, seq := range []uint32{2, 0, 4, 1, 3} {
+		jb.Put(jbFrame(seq), base)
+	}
+	got := jb.PopDue(base.Add(time.Second))
+	if len(got) != 5 {
+		t.Fatalf("pop returned %d frames", len(got))
+	}
+	for i, p := range got {
+		if p.Seq != uint16(i) {
+			t.Fatalf("order broken at %d: seq %d", i, p.Seq)
+		}
+	}
+}
+
+func TestJitterBufferSkipsLostFrame(t *testing.T) {
+	jb := NewJitterBuffer(50 * time.Millisecond)
+	base := time.Unix(1000, 0)
+	jb.Put(jbFrame(0), base)
+	// Frame 1 never arrives.
+	jb.Put(jbFrame(2), base)
+	got := jb.PopDue(base.Add(time.Second))
+	if len(got) != 2 || got[0].Seq != 0 || got[1].Seq != 2 {
+		t.Fatalf("got %v", got)
+	}
+	if jb.Missing() != 1 {
+		t.Fatalf("missing = %d", jb.Missing())
+	}
+}
+
+func TestJitterBufferDoesNotSkipPrematurely(t *testing.T) {
+	jb := NewJitterBuffer(50 * time.Millisecond)
+	base := time.Unix(1000, 0)
+	jb.Put(jbFrame(0), base)
+	jb.Put(jbFrame(2), base.Add(40*time.Millisecond))
+	// At +55ms frame 0 is due, frame 2 is not (due +90ms): the gap at 1
+	// must NOT be skipped yet — frame 1 may still arrive.
+	got := jb.PopDue(base.Add(55 * time.Millisecond))
+	if len(got) != 1 || got[0].Seq != 0 {
+		t.Fatalf("got %v", got)
+	}
+	if jb.Missing() != 0 {
+		t.Fatalf("premature skip: missing = %d", jb.Missing())
+	}
+	// The straggler arrives in time and plays in order.
+	jb.Put(jbFrame(1), base.Add(60*time.Millisecond))
+	got = jb.PopDue(base.Add(200 * time.Millisecond))
+	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestJitterBufferCountsLate(t *testing.T) {
+	jb := NewJitterBuffer(30 * time.Millisecond)
+	base := time.Unix(1000, 0)
+	jb.Put(jbFrame(0), base)
+	jb.Put(jbFrame(2), base)
+	_ = jb.PopDue(base.Add(time.Second)) // playout passes frame 1's slot
+	// Frame 1 shows up now: too late.
+	jb.Put(jbFrame(1), base.Add(2*time.Second))
+	if jb.Late() != 1 {
+		t.Fatalf("late = %d", jb.Late())
+	}
+}
+
+func TestJitterBufferSequenceWrap(t *testing.T) {
+	jb := NewJitterBuffer(10 * time.Millisecond)
+	base := time.Unix(1000, 0)
+	seqs := []uint16{65534, 65535, 0, 1}
+	for _, s := range seqs {
+		jb.Put(&Packet{Seq: s, Payload: make([]byte, PayloadBytes)}, base)
+	}
+	got := jb.PopDue(base.Add(time.Second))
+	if len(got) != 4 {
+		t.Fatalf("pop returned %d frames", len(got))
+	}
+	for i, p := range got {
+		if p.Seq != seqs[i] {
+			t.Fatalf("wrap order broken at %d: %d", i, p.Seq)
+		}
+	}
+}
+
+// TestJitterBufferQuickNoDuplicatesNoReorder feeds random permutations with
+// random drops and asserts the invariant: output is strictly increasing in
+// sequence space and free of duplicates.
+func TestJitterBufferQuickNoDuplicatesNoReorder(t *testing.T) {
+	f := func(seed int64, dropMask uint32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		jb := NewJitterBuffer(20 * time.Millisecond)
+		base := time.Unix(1000, 0)
+		perm := rng.Perm(20)
+		for _, i := range perm {
+			if dropMask&(1<<uint(i%32)) != 0 && i != 0 {
+				continue // dropped in the network
+			}
+			jb.Put(jbFrame(uint32(i)), base.Add(time.Duration(rng.Intn(30))*time.Millisecond))
+		}
+		var all []*Packet
+		for tick := 1; tick <= 10; tick++ {
+			all = append(all, jb.PopDue(base.Add(time.Duration(tick)*50*time.Millisecond))...)
+		}
+		seen := make(map[uint16]bool)
+		prev := -1
+		for _, p := range all {
+			if seen[p.Seq] {
+				return false // duplicate
+			}
+			seen[p.Seq] = true
+			if int(p.Seq) <= prev {
+				return false // reordered
+			}
+			prev = int(p.Seq)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJitterBufferDefaults(t *testing.T) {
+	jb := NewJitterBuffer(0)
+	if jb.delay != DefaultPlayoutDelay {
+		t.Fatalf("delay = %v", jb.delay)
+	}
+	if got := jb.PopDue(time.Now()); got != nil {
+		t.Fatal("pop on empty unstarted buffer returned frames")
+	}
+	if jb.Depth() != 0 {
+		t.Fatal("depth != 0")
+	}
+}

@@ -1,0 +1,128 @@
+package rtp
+
+import (
+	"sync"
+
+	"siphoc/internal/clock"
+	"siphoc/internal/netem"
+)
+
+// Session is one end of an RTP media session bound to a UDP-like port: it
+// can stream synthetic voice toward the peer and it measures everything that
+// arrives. Close releases the port and stops the receive loop.
+type Session struct {
+	conn *netem.Conn
+	clk  clock.Clock
+	ssrc uint32
+
+	mu     sync.Mutex
+	recv   Receiver
+	jb     *JitterBuffer
+	played int64
+	sent   int64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewSession wraps conn and starts receiving. Incoming frames pass through
+// a playout jitter buffer before being counted as played.
+func NewSession(conn *netem.Conn, clk clock.Clock, ssrc uint32) *Session {
+	s := &Session{
+		conn: conn, clk: clk, ssrc: ssrc,
+		jb:   NewJitterBuffer(DefaultPlayoutDelay),
+		stop: make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.recvLoop()
+	return s
+}
+
+// Port returns the local RTP port.
+func (s *Session) Port() uint16 { return s.conn.LocalPort() }
+
+// SendStream transmits `frames` voice frames to dst:port paced at the G.711
+// frame rate (20 ms), blocking until done or the session closes. It returns
+// the number of frames handed to the network.
+func (s *Session) SendStream(dst netem.NodeID, port uint16, frames int) int {
+	sent := 0
+	for i := range frames {
+		select {
+		case <-s.stop:
+			return sent
+		default:
+		}
+		pkt := NewVoiceFrame(s.ssrc, uint32(i), s.clk.Now())
+		if err := s.conn.WriteTo(pkt.Marshal(), dst, port); err == nil {
+			sent++
+		}
+		s.mu.Lock()
+		s.sent++
+		s.mu.Unlock()
+		if i != frames-1 {
+			timer := s.clk.NewTimer(FrameDuration)
+			select {
+			case <-s.stop:
+				timer.Stop()
+				return sent
+			case <-timer.C():
+			}
+		}
+	}
+	return sent
+}
+
+// Sent returns the number of frames transmitted so far.
+func (s *Session) Sent() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sent
+}
+
+// Stats returns the receive-side quality snapshot.
+func (s *Session) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recv.Stats()
+}
+
+// PlayoutStats returns jitter-buffer counters: frames played in order,
+// frames dropped for arriving after their playout slot, and gaps skipped as
+// lost.
+func (s *Session) PlayoutStats() (played, late, missing int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Flush anything due up to now so callers see current numbers.
+	s.played += int64(len(s.jb.PopDue(s.clk.Now())))
+	return s.played, s.jb.Late(), s.jb.Missing()
+}
+
+// Close stops the session and releases the port.
+func (s *Session) Close() {
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		s.conn.Close()
+	})
+	s.wg.Wait()
+}
+
+func (s *Session) recvLoop() {
+	defer s.wg.Done()
+	for {
+		dg, ok := s.conn.Recv()
+		if !ok {
+			return
+		}
+		pkt, err := Parse(dg.Data)
+		if err != nil {
+			continue
+		}
+		now := s.clk.Now()
+		s.mu.Lock()
+		s.recv.Observe(pkt, now)
+		s.jb.Put(pkt, now)
+		s.played += int64(len(s.jb.PopDue(now)))
+		s.mu.Unlock()
+	}
+}

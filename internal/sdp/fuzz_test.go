@@ -1,0 +1,35 @@
+package sdp
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParse: any input either errors or yields a session whose Marshal
+// output reparses to the same value.
+func FuzzParse(f *testing.F) {
+	f.Add(NewAudioOffer("alice", "10.0.0.1", 40000).Marshal())
+	f.Add([]byte("v=0\r\no=- 1 1 IN IP4 h\r\ns=x\r\nc=IN IP4 h\r\nt=0 0\r\nm=audio 4000 RTP/AVP 0 8\r\n"))
+	f.Add([]byte("v=0"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		s2, err := Parse(s.Marshal())
+		if err != nil {
+			t.Fatalf("marshal output unparseable: %v\nwire: %q", err, s.Marshal())
+		}
+		// The o=/s= placeholders normalize "" to "-"; align before diff.
+		if s.Username == "" {
+			s.Username = "-"
+		}
+		if s.Name == "" {
+			s.Name = "-"
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("round trip drift:\n%+v\n%+v", s, s2)
+		}
+	})
+}

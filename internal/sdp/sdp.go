@@ -1,0 +1,211 @@
+// Package sdp implements the small subset of the Session Description
+// Protocol (RFC 4566) VoIP call setup needs: describing one audio stream
+// (G.711 µ-law, payload type 0) with its transport address, and the
+// offer/answer exchange carried in INVITE and 200 OK bodies.
+package sdp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the MIME type for SDP bodies.
+const ContentType = "application/sdp"
+
+// Media describes one media stream.
+type Media struct {
+	Type    string // "audio"
+	Port    uint16
+	Proto   string   // "RTP/AVP"
+	Formats []string // payload types, e.g. ["0"] for PCMU
+}
+
+// Session is a minimal SDP session description.
+type Session struct {
+	Username  string
+	SessionID uint64
+	Version   uint64
+	Address   string // connection address (node ID)
+	Name      string // s= line
+	Media     []Media
+}
+
+// NewAudioOffer builds a one-stream audio session rooted at addr:port.
+func NewAudioOffer(username, addr string, port uint16) *Session {
+	return &Session{
+		Username:  username,
+		SessionID: 1,
+		Version:   1,
+		Address:   addr,
+		Name:      "siphoc-call",
+		Media: []Media{{
+			Type: "audio", Port: port, Proto: "RTP/AVP", Formats: []string{"0"},
+		}},
+	}
+}
+
+// Answer builds the answer to offer, placing the local audio stream at
+// addr:port. It returns an error if the offer has no compatible audio
+// stream (we accept payload type 0, PCMU).
+func Answer(offer *Session, username, addr string, port uint16) (*Session, error) {
+	for _, m := range offer.Media {
+		if m.Type != "audio" {
+			continue
+		}
+		for _, f := range m.Formats {
+			if f == "0" {
+				return NewAudioOffer(username, addr, port), nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("sdp: no compatible audio stream in offer")
+}
+
+// AudioEndpoint returns the remote audio address and port from a session.
+func (s *Session) AudioEndpoint() (string, uint16, error) {
+	for _, m := range s.Media {
+		if m.Type == "audio" {
+			return s.Address, m.Port, nil
+		}
+	}
+	return "", 0, fmt.Errorf("sdp: no audio stream")
+}
+
+// Marshal renders the session description. Fields that would break the
+// line-oriented syntax (whitespace, empty values) are normalized.
+func (s *Session) Marshal() []byte {
+	addr := sanitizeField(s.Address)
+	if addr == "" {
+		addr = "0.0.0.0"
+	}
+	var b strings.Builder
+	b.WriteString("v=0\r\n")
+	fmt.Fprintf(&b, "o=%s %d %d IN IP4 %s\r\n", orDash(sanitizeField(s.Username)), s.SessionID, s.Version, addr)
+	fmt.Fprintf(&b, "s=%s\r\n", orDash(sanitizeLine(s.Name)))
+	fmt.Fprintf(&b, "c=IN IP4 %s\r\n", addr)
+	b.WriteString("t=0 0\r\n")
+	for _, m := range s.Media {
+		fmt.Fprintf(&b, "m=%s %d %s %s\r\n",
+			sanitizeField(m.Type), m.Port, sanitizeField(m.Proto), strings.Join(s.cleanFormats(m), " "))
+	}
+	return []byte(b.String())
+}
+
+func (s *Session) cleanFormats(m Media) []string {
+	out := make([]string, 0, len(m.Formats))
+	for _, f := range m.Formats {
+		if cf := sanitizeField(f); cf != "" {
+			out = append(out, cf)
+		}
+	}
+	return out
+}
+
+// sanitizeField strips whitespace and CR/LF from a single space-separated
+// field. It works byte-wise so non-UTF-8 input passes through unmangled.
+func sanitizeField(s string) string {
+	return stripBytes(s, " \t\r\n")
+}
+
+// sanitizeLine strips only line breaks (free-text fields like s=).
+func sanitizeLine(s string) string {
+	return stripBytes(s, "\r\n")
+}
+
+func stripBytes(s, cutset string) string {
+	if !strings.ContainsAny(s, cutset) {
+		return s
+	}
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if strings.IndexByte(cutset, s[i]) < 0 {
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// Parse decodes a session description.
+func Parse(data []byte) (*Session, error) {
+	s := &Session{}
+	sawV := false
+	// Accept CRLF, LF and stray CR line endings alike.
+	text := strings.ReplaceAll(string(data), "\r\n", "\n")
+	text = strings.ReplaceAll(text, "\r", "\n")
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if len(line) < 2 || line[1] != '=' {
+			return nil, fmt.Errorf("sdp: malformed line %q", line)
+		}
+		val := line[2:]
+		switch line[0] {
+		case 'v':
+			if val != "0" {
+				return nil, fmt.Errorf("sdp: unsupported version %q", val)
+			}
+			sawV = true
+		case 'o':
+			fields := strings.Fields(val)
+			if len(fields) != 6 {
+				return nil, fmt.Errorf("sdp: malformed o= line %q", line)
+			}
+			s.Username = fields[0]
+			id, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sdp: bad session id: %v", err)
+			}
+			ver, err := strconv.ParseUint(fields[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sdp: bad session version: %v", err)
+			}
+			s.SessionID, s.Version = id, ver
+			if s.Address == "" {
+				s.Address = fields[5]
+			}
+		case 's':
+			s.Name = val
+		case 'c':
+			fields := strings.Fields(val)
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("sdp: malformed c= line %q", line)
+			}
+			s.Address = fields[2]
+		case 'm':
+			fields := strings.Fields(val)
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("sdp: malformed m= line %q", line)
+			}
+			port, err := strconv.ParseUint(fields[1], 10, 16)
+			if err != nil {
+				return nil, fmt.Errorf("sdp: bad media port: %v", err)
+			}
+			s.Media = append(s.Media, Media{
+				Type:    fields[0],
+				Port:    uint16(port),
+				Proto:   fields[2],
+				Formats: fields[3:],
+			})
+		case 't', 'a', 'b', 'i', 'u', 'e', 'p', 'r', 'z', 'k':
+			// Tolerated and ignored.
+		default:
+			return nil, fmt.Errorf("sdp: unknown line type %q", line[0])
+		}
+	}
+	if !sawV {
+		return nil, fmt.Errorf("sdp: missing v= line")
+	}
+	if s.Address == "" {
+		return nil, fmt.Errorf("sdp: missing connection address (o=/c=)")
+	}
+	return s, nil
+}

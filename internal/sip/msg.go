@@ -1,0 +1,333 @@
+// Package sip implements the subset of the Session Initiation Protocol
+// (RFC 3261) the system needs: message parsing and serialization, client and
+// server transactions with retransmission over the unreliable MANET
+// transport, and helpers for proxying and registration. It is the substrate
+// under the paper's per-node SIPHoc proxy and the simulated Internet SIP
+// providers, and it is what lets out-of-the-box VoIP applications
+// interoperate with the middleware unchanged.
+package sip
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"siphoc/internal/netem"
+)
+
+// Request methods used by the system.
+const (
+	MethodRegister = "REGISTER"
+	MethodInvite   = "INVITE"
+	MethodAck      = "ACK"
+	MethodBye      = "BYE"
+	MethodCancel   = "CANCEL"
+	MethodOptions  = "OPTIONS"
+)
+
+// Common status codes.
+const (
+	StatusTrying             = 100
+	StatusRinging            = 180
+	StatusOK                 = 200
+	StatusBadRequest         = 400
+	StatusUnauthorized       = 401
+	StatusNotFound           = 404
+	StatusRequestTimeout     = 408
+	StatusTemporarilyUnavail = 480
+	StatusCallDoesNotExist   = 481
+	StatusLoopDetected       = 482
+	StatusTooManyHops        = 483
+	StatusBusyHere           = 486
+	StatusRequestTerminated  = 487
+	StatusInternalError      = 500
+	StatusServiceUnavail     = 503
+	StatusDeclined           = 603
+)
+
+// ReasonPhrase returns the canonical reason phrase for a status code.
+func ReasonPhrase(code int) string {
+	switch code {
+	case StatusTrying:
+		return "Trying"
+	case StatusRinging:
+		return "Ringing"
+	case StatusOK:
+		return "OK"
+	case StatusBadRequest:
+		return "Bad Request"
+	case StatusUnauthorized:
+		return "Unauthorized"
+	case StatusNotFound:
+		return "Not Found"
+	case StatusRequestTimeout:
+		return "Request Timeout"
+	case StatusTemporarilyUnavail:
+		return "Temporarily Unavailable"
+	case StatusCallDoesNotExist:
+		return "Call/Transaction Does Not Exist"
+	case StatusLoopDetected:
+		return "Loop Detected"
+	case StatusTooManyHops:
+		return "Too Many Hops"
+	case StatusBusyHere:
+		return "Busy Here"
+	case StatusRequestTerminated:
+		return "Request Terminated"
+	case StatusInternalError:
+		return "Server Internal Error"
+	case StatusServiceUnavail:
+		return "Service Unavailable"
+	case StatusDeclined:
+		return "Decline"
+	default:
+		return "Unknown"
+	}
+}
+
+// Addr is a transport address on the emulated network: node plus UDP port.
+type Addr struct {
+	Node netem.NodeID
+	Port uint16
+}
+
+// String renders host:port.
+func (a Addr) String() string {
+	return fmt.Sprintf("%s:%d", a.Node, a.Port)
+}
+
+// ParseAddr parses "host:port" (port defaults to 5060).
+func ParseAddr(s string) (Addr, error) {
+	host, port, err := splitHostPort(s)
+	if err != nil {
+		return Addr{}, err
+	}
+	if port == 0 {
+		port = DefaultPort
+	}
+	return Addr{Node: netem.NodeID(host), Port: port}, nil
+}
+
+// Via is one Via header entry recording a hop the request traversed.
+type Via struct {
+	Transport string // "UDP"
+	Host      string
+	Port      uint16
+	Params    map[string]string // branch, received, ...
+}
+
+// BranchPrefix is the RFC 3261 magic cookie for Via branch parameters.
+const BranchPrefix = "z9hG4bK"
+
+// Branch returns the branch parameter.
+func (v *Via) Branch() string { return v.Params["branch"] }
+
+// SentBy returns the transport address encoded in the Via.
+func (v *Via) SentBy() Addr {
+	port := v.Port
+	if port == 0 {
+		port = DefaultPort
+	}
+	return Addr{Node: netem.NodeID(v.Host), Port: port}
+}
+
+// String renders "SIP/2.0/UDP host:port;params".
+func (v *Via) String() string {
+	var b strings.Builder
+	b.WriteString("SIP/2.0/")
+	b.WriteString(v.Transport)
+	b.WriteByte(' ')
+	b.WriteString(v.Host)
+	if v.Port != 0 {
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(int(v.Port)))
+	}
+	b.WriteString(formatParams(v.Params))
+	return b.String()
+}
+
+func (v *Via) clone() *Via {
+	c := *v
+	if v.Params != nil {
+		c.Params = make(map[string]string, len(v.Params))
+		for k, val := range v.Params {
+			c.Params[k] = val
+		}
+	}
+	return &c
+}
+
+// ParseVia parses one Via header value.
+func ParseVia(s string) (*Via, error) {
+	s = strings.TrimSpace(s)
+	const pre = "SIP/2.0/"
+	if !strings.HasPrefix(s, pre) {
+		return nil, fmt.Errorf("sip: via %q: bad protocol", s)
+	}
+	s = s[len(pre):]
+	sp := strings.IndexByte(s, ' ')
+	if sp < 0 {
+		return nil, fmt.Errorf("sip: via %q: missing sent-by", s)
+	}
+	v := &Via{Transport: s[:sp]}
+	if !isToken(v.Transport) {
+		return nil, fmt.Errorf("sip: via %q: bad transport", s)
+	}
+	rest := strings.TrimSpace(s[sp+1:])
+	if i := strings.IndexByte(rest, ';'); i >= 0 {
+		params, err := parseParams(rest[i+1:])
+		if err != nil {
+			return nil, err
+		}
+		v.Params = params
+		rest = rest[:i]
+	}
+	host, port, err := splitHostPort(strings.TrimSpace(rest))
+	if err != nil {
+		return nil, err
+	}
+	if !validHost(host) {
+		return nil, fmt.Errorf("sip: via %q: bad sent-by host", s)
+	}
+	v.Host, v.Port = host, port
+	return v, nil
+}
+
+// CSeq is the CSeq header: sequence number plus method.
+type CSeq struct {
+	Seq    uint32
+	Method string
+}
+
+// String renders "1 INVITE".
+func (c CSeq) String() string { return fmt.Sprintf("%d %s", c.Seq, c.Method) }
+
+// Message is a SIP request or response.
+type Message struct {
+	// Request fields (Method != "" marks a request).
+	Method     string
+	RequestURI *URI
+
+	// Response fields.
+	StatusCode int
+	Reason     string
+
+	Via         []*Via // topmost first
+	From        *NameAddr
+	To          *NameAddr
+	Contact     []*NameAddr
+	Route       []*NameAddr
+	RecordRoute []*NameAddr
+	CallID      string
+	CSeq        CSeq
+	MaxForwards int // -1 when absent
+	Expires     int // -1 when absent
+	ContentType string
+	UserAgent   string
+
+	// Other carries headers this implementation does not interpret,
+	// preserved across proxying (canonical-cased keys).
+	Other map[string][]string
+
+	Body []byte
+}
+
+// IsRequest reports whether the message is a request.
+func (m *Message) IsRequest() bool { return m.Method != "" }
+
+// IsResponse reports whether the message is a response.
+func (m *Message) IsResponse() bool { return m.Method == "" }
+
+// TopVia returns the first Via entry, or nil.
+func (m *Message) TopVia() *Via {
+	if len(m.Via) == 0 {
+		return nil
+	}
+	return m.Via[0]
+}
+
+// Clone returns a deep copy of the message.
+func (m *Message) Clone() *Message {
+	c := *m
+	c.Via = make([]*Via, len(m.Via))
+	for i, v := range m.Via {
+		c.Via[i] = v.clone()
+	}
+	c.RequestURI = m.RequestURI.Clone()
+	c.From = m.From.Clone()
+	c.To = m.To.Clone()
+	c.Contact = cloneNameAddrs(m.Contact)
+	c.Route = cloneNameAddrs(m.Route)
+	c.RecordRoute = cloneNameAddrs(m.RecordRoute)
+	if m.Other != nil {
+		c.Other = make(map[string][]string, len(m.Other))
+		for k, vs := range m.Other {
+			c.Other[k] = append([]string(nil), vs...)
+		}
+	}
+	c.Body = append([]byte(nil), m.Body...)
+	return &c
+}
+
+func cloneNameAddrs(in []*NameAddr) []*NameAddr {
+	if in == nil {
+		return nil
+	}
+	out := make([]*NameAddr, len(in))
+	for i, n := range in {
+		out[i] = n.Clone()
+	}
+	return out
+}
+
+// NewRequest builds a request skeleton with sane defaults.
+func NewRequest(method string, uri *URI) *Message {
+	return &Message{
+		Method:      method,
+		RequestURI:  uri,
+		MaxForwards: 70,
+		Expires:     -1,
+	}
+}
+
+// NewResponse builds a response to req per RFC 3261 §8.2.6: Via, From, To,
+// Call-ID and CSeq are copied from the request.
+func NewResponse(req *Message, code int, reason string) *Message {
+	if reason == "" {
+		reason = ReasonPhrase(code)
+	}
+	resp := &Message{
+		StatusCode:  code,
+		Reason:      reason,
+		CallID:      req.CallID,
+		CSeq:        req.CSeq,
+		From:        req.From.Clone(),
+		To:          req.To.Clone(),
+		MaxForwards: -1,
+		Expires:     -1,
+	}
+	resp.Via = make([]*Via, len(req.Via))
+	for i, v := range req.Via {
+		resp.Via[i] = v.clone()
+	}
+	// Record-Route is mirrored into responses so the UAC learns the
+	// dialog's route set (RFC 3261 §12.1.1, §16.7).
+	resp.RecordRoute = cloneNameAddrs(req.RecordRoute)
+	return resp
+}
+
+// TransactionKey identifies the transaction a message belongs to
+// (RFC 3261 §17.2.3: top Via branch + CSeq method, with CANCEL/ACK matching
+// the INVITE they refer to handled by callers).
+func (m *Message) TransactionKey() string {
+	v := m.TopVia()
+	branch := ""
+	if v != nil {
+		branch = v.Branch()
+	}
+	method := m.CSeq.Method
+	if method == MethodAck {
+		method = MethodInvite
+	}
+	return branch + "|" + method
+}

@@ -1,0 +1,306 @@
+package sip
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// canonicalHeader maps compact forms and normalizes case.
+func canonicalHeader(name string) string {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "v", "via":
+		return "Via"
+	case "f", "from":
+		return "From"
+	case "t", "to":
+		return "To"
+	case "i", "call-id":
+		return "Call-ID"
+	case "m", "contact":
+		return "Contact"
+	case "c", "content-type":
+		return "Content-Type"
+	case "l", "content-length":
+		return "Content-Length"
+	case "cseq":
+		return "CSeq"
+	case "max-forwards":
+		return "Max-Forwards"
+	case "expires":
+		return "Expires"
+	case "route":
+		return "Route"
+	case "record-route":
+		return "Record-Route"
+	case "user-agent":
+		return "User-Agent"
+	case "www-authenticate":
+		return "WWW-Authenticate"
+	case "authorization":
+		return "Authorization"
+	case "proxy-authenticate":
+		return "Proxy-Authenticate"
+	case "proxy-authorization":
+		return "Proxy-Authorization"
+	default:
+		// Title-case each dash-separated token.
+		parts := strings.Split(strings.ToLower(strings.TrimSpace(name)), "-")
+		for i, p := range parts {
+			if p != "" {
+				parts[i] = strings.ToUpper(p[:1]) + p[1:]
+			}
+		}
+		return strings.Join(parts, "-")
+	}
+}
+
+// Parse decodes a SIP message from its textual wire form.
+func Parse(data []byte) (*Message, error) {
+	text := string(data)
+	headEnd := strings.Index(text, "\r\n\r\n")
+	sep := 4
+	if headEnd < 0 {
+		headEnd = strings.Index(text, "\n\n")
+		sep = 2
+	}
+	var head, body string
+	if headEnd >= 0 {
+		head, body = text[:headEnd], text[headEnd+sep:]
+	} else {
+		head = text
+	}
+	lines := splitLines(head)
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("sip: empty message")
+	}
+	m := &Message{MaxForwards: -1, Expires: -1}
+	if err := parseStartLine(m, lines[0]); err != nil {
+		return nil, err
+	}
+	contentLength := -1
+	for _, line := range lines[1:] {
+		if line == "" {
+			continue
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			return nil, fmt.Errorf("sip: malformed header line %q", line)
+		}
+		if !isToken(strings.TrimSpace(line[:colon])) {
+			return nil, fmt.Errorf("sip: malformed header name %q", line[:colon])
+		}
+		name := canonicalHeader(line[:colon])
+		value := strings.TrimSpace(line[colon+1:])
+		if err := setHeader(m, name, value, &contentLength); err != nil {
+			return nil, err
+		}
+	}
+	if err := validate(m); err != nil {
+		return nil, err
+	}
+	if contentLength >= 0 {
+		if contentLength > len(body) {
+			return nil, fmt.Errorf("sip: Content-Length %d exceeds body %d", contentLength, len(body))
+		}
+		body = body[:contentLength]
+	}
+	if body != "" {
+		m.Body = []byte(body)
+	}
+	return m, nil
+}
+
+func splitLines(s string) []string {
+	raw := strings.Split(s, "\n")
+	out := make([]string, 0, len(raw))
+	for _, l := range raw {
+		out = append(out, strings.TrimRight(l, "\r"))
+	}
+	return out
+}
+
+func parseStartLine(m *Message, line string) error {
+	if strings.HasPrefix(line, "SIP/2.0 ") {
+		rest := line[len("SIP/2.0 "):]
+		sp := strings.IndexByte(rest, ' ')
+		codeStr, reason := rest, ""
+		if sp >= 0 {
+			codeStr, reason = rest[:sp], rest[sp+1:]
+		}
+		code, err := strconv.Atoi(codeStr)
+		if err != nil || code < 100 || code > 699 {
+			return fmt.Errorf("sip: bad status line %q", line)
+		}
+		m.StatusCode = code
+		m.Reason = reason
+		return nil
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) != 3 || parts[2] != "SIP/2.0" {
+		return fmt.Errorf("sip: bad request line %q", line)
+	}
+	method := strings.ToUpper(parts[0])
+	if !isToken(method) {
+		return fmt.Errorf("sip: bad method %q", parts[0])
+	}
+	uri, err := ParseURI(parts[1])
+	if err != nil {
+		return err
+	}
+	m.Method = method
+	m.RequestURI = uri
+	return nil
+}
+
+// isToken reports whether s is a non-empty RFC 3261 token (method names,
+// header tokens).
+func isToken(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'A' && r <= 'Z', r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+		case strings.ContainsRune("-.!%*_+`'~", r):
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func setHeader(m *Message, name, value string, contentLength *int) error {
+	switch name {
+	case "Via":
+		for _, part := range splitTopLevel(value) {
+			v, err := ParseVia(part)
+			if err != nil {
+				return err
+			}
+			m.Via = append(m.Via, v)
+		}
+	case "From":
+		na, err := ParseNameAddr(value)
+		if err != nil {
+			return fmt.Errorf("sip: From: %v", err)
+		}
+		m.From = na
+	case "To":
+		na, err := ParseNameAddr(value)
+		if err != nil {
+			return fmt.Errorf("sip: To: %v", err)
+		}
+		m.To = na
+	case "Contact":
+		if value == "*" {
+			m.Contact = append(m.Contact, &NameAddr{Display: "*", URI: &URI{Scheme: "sip", Host: "*"}})
+			break
+		}
+		for _, part := range splitTopLevel(value) {
+			na, err := ParseNameAddr(part)
+			if err != nil {
+				return fmt.Errorf("sip: Contact: %v", err)
+			}
+			m.Contact = append(m.Contact, na)
+		}
+	case "Route", "Record-Route":
+		for _, part := range splitTopLevel(value) {
+			na, err := ParseNameAddr(part)
+			if err != nil {
+				return fmt.Errorf("sip: %s: %v", name, err)
+			}
+			if name == "Route" {
+				m.Route = append(m.Route, na)
+			} else {
+				m.RecordRoute = append(m.RecordRoute, na)
+			}
+		}
+	case "Call-ID":
+		m.CallID = value
+	case "CSeq":
+		sp := strings.IndexByte(value, ' ')
+		if sp < 0 {
+			return fmt.Errorf("sip: bad CSeq %q", value)
+		}
+		seq, err := strconv.ParseUint(strings.TrimSpace(value[:sp]), 10, 32)
+		if err != nil {
+			return fmt.Errorf("sip: bad CSeq %q", value)
+		}
+		m.CSeq = CSeq{Seq: uint32(seq), Method: strings.ToUpper(strings.TrimSpace(value[sp+1:]))}
+	case "Max-Forwards":
+		n, err := strconv.Atoi(value)
+		if err != nil || n < 0 {
+			return fmt.Errorf("sip: bad Max-Forwards %q", value)
+		}
+		m.MaxForwards = n
+	case "Expires":
+		n, err := strconv.Atoi(value)
+		if err != nil || n < 0 {
+			return fmt.Errorf("sip: bad Expires %q", value)
+		}
+		m.Expires = n
+	case "Content-Type":
+		m.ContentType = value
+	case "Content-Length":
+		n, err := strconv.Atoi(value)
+		if err != nil || n < 0 {
+			return fmt.Errorf("sip: bad Content-Length %q", value)
+		}
+		*contentLength = n
+	case "User-Agent":
+		m.UserAgent = value
+	default:
+		if m.Other == nil {
+			m.Other = make(map[string][]string)
+		}
+		m.Other[name] = append(m.Other[name], value)
+	}
+	return nil
+}
+
+// splitTopLevel splits a comma-separated header value, respecting quoted
+// strings and angle brackets (so "Bob" <sip:b@x>, <sip:c@y> splits cleanly).
+func splitTopLevel(s string) []string {
+	var out []string
+	depth, inQuote, start := 0, false, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inQuote = !inQuote
+		case '<':
+			if !inQuote {
+				depth++
+			}
+		case '>':
+			if !inQuote && depth > 0 {
+				depth--
+			}
+		case ',':
+			if !inQuote && depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if tail := strings.TrimSpace(s[start:]); tail != "" {
+		out = append(out, tail)
+	}
+	return out
+}
+
+func validate(m *Message) error {
+	if m.From == nil || m.To == nil {
+		return fmt.Errorf("sip: missing From or To")
+	}
+	if m.CallID == "" {
+		return fmt.Errorf("sip: missing Call-ID")
+	}
+	if m.CSeq.Method == "" {
+		return fmt.Errorf("sip: missing CSeq")
+	}
+	if m.IsRequest() && m.CSeq.Method != m.Method {
+		return fmt.Errorf("sip: CSeq method %q does not match request method %q", m.CSeq.Method, m.Method)
+	}
+	return nil
+}

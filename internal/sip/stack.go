@@ -1,0 +1,303 @@
+package sip
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"siphoc/internal/clock"
+	"siphoc/internal/netem"
+)
+
+// Config tunes the transaction layer. The zero value gets RFC 3261 defaults;
+// simulations scale T1 down.
+type Config struct {
+	// T1 is the RTT estimate driving retransmissions (default 500ms).
+	T1 time.Duration
+	// T2 caps non-INVITE retransmission intervals (default 4s).
+	T2 time.Duration
+	// Clock is the time source (default the system clock).
+	Clock clock.Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.T1 == 0 {
+		c.T1 = 500 * time.Millisecond
+	}
+	if c.T2 == 0 {
+		c.T2 = 4 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = clock.New()
+	}
+	return c
+}
+
+// SimConfig returns transaction timing scaled for in-memory simulation.
+func SimConfig() Config {
+	return Config{T1: 25 * time.Millisecond, T2: 200 * time.Millisecond}.withDefaults()
+}
+
+// RequestHandler receives new server transactions. It runs on its own
+// goroutine per transaction and may block.
+type RequestHandler func(tx *ServerTx)
+
+// Stack binds SIP message I/O and the transaction layer to one UDP-like
+// port. Create with NewStack, release with Close.
+type Stack struct {
+	conn *netem.Conn
+	cfg  Config
+	clk  clock.Clock
+	self Addr
+
+	mu        sync.Mutex
+	clientTxs map[string]*ClientTx
+	serverTxs map[string]*ServerTx
+	handler   RequestHandler
+	strayResp func(*Message, Addr)
+	closed    bool
+
+	seq  atomic.Uint64
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewStack attaches a SIP endpoint to conn and starts its receive loop.
+func NewStack(conn *netem.Conn, cfg Config) *Stack {
+	cfg = cfg.withDefaults()
+	s := &Stack{
+		conn:      conn,
+		cfg:       cfg,
+		clk:       cfg.Clock,
+		self:      Addr{Node: conn.Host().ID(), Port: conn.LocalPort()},
+		clientTxs: make(map[string]*ClientTx),
+		serverTxs: make(map[string]*ServerTx),
+		stop:      make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.recvLoop()
+	return s
+}
+
+// Addr returns the local SIP transport address.
+func (s *Stack) Addr() Addr { return s.self }
+
+// OnRequest installs the handler for new incoming requests.
+func (s *Stack) OnRequest(h RequestHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handler = h
+}
+
+// OnStrayResponse installs a handler for responses that match no client
+// transaction (e.g. retransmitted 200 OK after transaction termination).
+func (s *Stack) OnStrayResponse(h func(*Message, Addr)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.strayResp = h
+}
+
+// Close terminates the stack: all transactions stop and the receive loop
+// exits. The underlying connection is closed too.
+func (s *Stack) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	s.conn.Close()
+	s.wg.Wait()
+}
+
+// NewBranch returns a fresh RFC 3261 branch token, unique across nodes.
+func (s *Stack) NewBranch() string {
+	return BranchPrefix + "-" + string(s.self.Node) + "-" +
+		strconv.Itoa(int(s.self.Port)) + "-" + strconv.FormatUint(s.seq.Add(1), 36)
+}
+
+// NewTag returns a fresh From/To tag.
+func (s *Stack) NewTag() string {
+	return "tag-" + string(s.self.Node) + "-" + strconv.FormatUint(s.seq.Add(1), 36)
+}
+
+// NewCallID returns a fresh Call-ID scoped to this node.
+func (s *Stack) NewCallID() string {
+	return "cid-" + strconv.FormatUint(s.seq.Add(1), 36) + "@" + string(s.self.Node)
+}
+
+// Send transmits a message without transaction state (responses, ACKs).
+func (s *Stack) Send(m *Message, dst Addr) error {
+	return s.conn.WriteTo(m.Marshal(), dst.Node, dst.Port)
+}
+
+// SendRequest starts a client transaction: it pushes a fresh Via for this
+// stack onto req (mutating it), transmits with retransmissions, and returns
+// the transaction whose Responses channel delivers provisional and final
+// responses.
+func (s *Stack) SendRequest(req *Message, dst Addr) (*ClientTx, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("sip: stack closed")
+	}
+	s.mu.Unlock()
+	via := &Via{
+		Transport: "UDP",
+		Host:      string(s.self.Node),
+		Port:      s.self.Port,
+		Params:    map[string]string{"branch": s.NewBranch()},
+	}
+	req.Via = append([]*Via{via}, req.Via...)
+	tx := newClientTx(s, req, dst)
+	s.mu.Lock()
+	s.clientTxs[tx.key] = tx
+	s.mu.Unlock()
+	tx.start()
+	return tx, nil
+}
+
+// SendRequestPreVia starts a client transaction for a request whose Via
+// stack is already in place — the CANCEL case, which must reuse the branch
+// of the INVITE it cancels (RFC 3261 §9.1).
+func (s *Stack) SendRequestPreVia(req *Message, dst Addr) (*ClientTx, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("sip: stack closed")
+	}
+	s.mu.Unlock()
+	if req.TopVia() == nil {
+		return nil, fmt.Errorf("sip: SendRequestPreVia needs a Via")
+	}
+	tx := newClientTx(s, req, dst)
+	s.mu.Lock()
+	s.clientTxs[tx.key] = tx
+	s.mu.Unlock()
+	tx.start()
+	return tx, nil
+}
+
+// BuildCancel constructs the CANCEL for a previously sent request per
+// RFC 3261 §9.1: same Request-URI, Call-ID, From, To, Route and top Via
+// (including the branch), CSeq with the same number but method CANCEL.
+func BuildCancel(invite *Message) *Message {
+	c := NewRequest(MethodCancel, invite.RequestURI.Clone())
+	if top := invite.TopVia(); top != nil {
+		c.Via = []*Via{top.clone()}
+	}
+	c.From = invite.From.Clone()
+	c.To = invite.To.Clone()
+	c.CallID = invite.CallID
+	c.CSeq = CSeq{Seq: invite.CSeq.Seq, Method: MethodCancel}
+	c.Route = cloneNameAddrs(invite.Route)
+	c.MaxForwards = 70
+	return c
+}
+
+// FindInviteServerTx returns the INVITE server transaction with the given
+// Via branch, used to match CANCEL requests.
+func (s *Stack) FindInviteServerTx(branch string) (*ServerTx, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tx, ok := s.serverTxs[branch+"|"+MethodInvite]
+	return tx, ok
+}
+
+func (s *Stack) removeClientTx(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.clientTxs, key)
+}
+
+func (s *Stack) removeServerTx(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.serverTxs, key)
+}
+
+func (s *Stack) recvLoop() {
+	defer s.wg.Done()
+	for {
+		dg, ok := s.conn.Recv()
+		if !ok {
+			return
+		}
+		m, err := Parse(dg.Data)
+		if err != nil {
+			continue // malformed datagrams are dropped, as a UA would
+		}
+		src := Addr{Node: dg.SrcNode, Port: dg.SrcPort}
+		if m.IsResponse() {
+			s.dispatchResponse(m, src)
+		} else {
+			s.dispatchRequest(m, src)
+		}
+	}
+}
+
+func (s *Stack) dispatchResponse(m *Message, src Addr) {
+	key := m.TransactionKey()
+	// Responses to non-INVITE methods keep their own method in the key.
+	if m.CSeq.Method != MethodInvite && m.CSeq.Method != MethodAck {
+		key = ""
+		if v := m.TopVia(); v != nil {
+			key = v.Branch()
+		}
+		key += "|" + m.CSeq.Method
+	}
+	s.mu.Lock()
+	tx := s.clientTxs[key]
+	stray := s.strayResp
+	s.mu.Unlock()
+	if tx != nil {
+		tx.onResponse(m)
+		return
+	}
+	if stray != nil {
+		stray(m, src)
+	}
+}
+
+func (s *Stack) dispatchRequest(m *Message, src Addr) {
+	key := m.TransactionKey()
+	s.mu.Lock()
+	tx := s.serverTxs[key]
+	handler := s.handler
+	s.mu.Unlock()
+	if tx != nil {
+		tx.onRequest(m)
+		return
+	}
+	if m.Method == MethodAck {
+		// ACK for a 2xx: no matching transaction by design; hand to the
+		// TU as a standalone request (dialog confirmation).
+		if handler != nil {
+			tx := newServerTx(s, m, src, true)
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				handler(tx)
+			}()
+		}
+		return
+	}
+	tx = newServerTx(s, m, src, false)
+	s.mu.Lock()
+	s.serverTxs[key] = tx
+	s.mu.Unlock()
+	tx.scheduleExpiry()
+	if handler == nil {
+		_ = tx.RespondCode(StatusServiceUnavail, "")
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		handler(tx)
+	}()
+}

@@ -1,0 +1,272 @@
+package sip
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"siphoc/internal/netem"
+)
+
+// pair builds two directly-connected hosts with SIP stacks on port 5060.
+func pair(t *testing.T, cfg netem.Config) (*Stack, *Stack, *netem.Network) {
+	t.Helper()
+	if cfg.BaseDelay == 0 {
+		cfg.BaseDelay = 100 * time.Microsecond
+	}
+	n := netem.NewNetwork(cfg)
+	t.Cleanup(n.Close)
+	ha, err := n.AddHost("a", netem.Position{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := n.AddHost("b", netem.Position{X: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha.SetRouteProvider(direct{})
+	hb.SetRouteProvider(direct{})
+	ca, err := ha.Listen(DefaultPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := hb.Listen(DefaultPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := NewStack(ca, SimConfig())
+	sb := NewStack(cb, SimConfig())
+	t.Cleanup(sa.Close)
+	t.Cleanup(sb.Close)
+	return sa, sb, n
+}
+
+// direct routes every destination as a 1-hop neighbour.
+type direct struct{}
+
+func (direct) NextHop(dst netem.NodeID) (netem.NodeID, bool) { return dst, true }
+func (direct) RequestRoute(dst netem.NodeID, done func(bool)) {
+	done(true)
+}
+
+func testRequest(s *Stack, method string) *Message {
+	req := NewRequest(method, MustParseURI("sip:bob@b"))
+	req.From = &NameAddr{URI: MustParseURI("sip:alice@a")}
+	req.From.SetTag(s.NewTag())
+	req.To = &NameAddr{URI: MustParseURI("sip:bob@b")}
+	req.CallID = s.NewCallID()
+	req.CSeq = CSeq{Seq: 1, Method: method}
+	return req
+}
+
+func TestRequestResponseExchange(t *testing.T) {
+	sa, sb, _ := pair(t, netem.Config{})
+	sb.OnRequest(func(tx *ServerTx) {
+		if tx.Request().Method != MethodOptions {
+			t.Errorf("method = %q", tx.Request().Method)
+		}
+		_ = tx.RespondCode(StatusOK, "")
+	})
+	tx, err := sa.SendRequest(testRequest(sa, MethodOptions), Addr{Node: "b", Port: DefaultPort})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := tx.Await()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if resp.To.Tag() == "" {
+		t.Fatal("UAS did not add a To tag")
+	}
+}
+
+func TestProvisionalThenFinal(t *testing.T) {
+	sa, sb, _ := pair(t, netem.Config{})
+	sb.OnRequest(func(tx *ServerTx) {
+		_ = tx.RespondCode(StatusRinging, "")
+		time.Sleep(10 * time.Millisecond)
+		_ = tx.RespondCode(StatusOK, "")
+	})
+	tx, err := sa.SendRequest(testRequest(sa, MethodInvite), Addr{Node: "b", Port: DefaultPort})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawRinging bool
+	final, err := tx.AwaitWithProvisional(func(m *Message) {
+		if m.StatusCode == StatusRinging {
+			sawRinging = true
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawRinging || final.StatusCode != StatusOK {
+		t.Fatalf("ringing=%v final=%d", sawRinging, final.StatusCode)
+	}
+}
+
+func TestRetransmissionOverLossyLink(t *testing.T) {
+	// 40% frame loss: retransmissions must still get the exchange through.
+	sa, sb, _ := pair(t, netem.Config{LossRate: 0.4, Seed: 11})
+	var handled atomic.Int32
+	sb.OnRequest(func(tx *ServerTx) {
+		handled.Add(1)
+		_ = tx.RespondCode(StatusOK, "")
+	})
+	tx, err := sa.SendRequest(testRequest(sa, MethodOptions), Addr{Node: "b", Port: DefaultPort})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := tx.Await()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	// Retransmissions must not re-trigger the TU.
+	time.Sleep(50 * time.Millisecond)
+	if n := handled.Load(); n != 1 {
+		t.Fatalf("handler invoked %d times", n)
+	}
+}
+
+func TestTimeoutYields408(t *testing.T) {
+	sa, _, n := pair(t, netem.Config{})
+	n.SetLink("a", "b", false) // black hole
+	tx, err := sa.SendRequest(testRequest(sa, MethodOptions), Addr{Node: "b", Port: DefaultPort})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := tx.Await()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != StatusRequestTimeout {
+		t.Fatalf("status = %d, want 408", resp.StatusCode)
+	}
+}
+
+func TestInviteNon2xxGetsAck(t *testing.T) {
+	sa, sb, _ := pair(t, netem.Config{})
+	acked := make(chan struct{}, 1)
+	sb.OnRequest(func(tx *ServerTx) {
+		_ = tx.RespondCode(StatusBusyHere, "")
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if tx.Acked() {
+				acked <- struct{}{}
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	})
+	tx, err := sa.SendRequest(testRequest(sa, MethodInvite), Addr{Node: "b", Port: DefaultPort})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := tx.Await()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != StatusBusyHere {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	select {
+	case <-acked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("transaction-level ACK never arrived")
+	}
+}
+
+func TestDefaultHandlerRejects(t *testing.T) {
+	sa, _, _ := pair(t, netem.Config{})
+	// Peer stack has no handler installed: it must answer 503.
+	tx, err := sa.SendRequest(testRequest(sa, MethodOptions), Addr{Node: "b", Port: DefaultPort})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := tx.Await()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != StatusServiceUnavail {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestBranchesUnique(t *testing.T) {
+	sa, _, _ := pair(t, netem.Config{})
+	seen := make(map[string]bool)
+	for range 100 {
+		b := sa.NewBranch()
+		if seen[b] {
+			t.Fatalf("duplicate branch %q", b)
+		}
+		seen[b] = true
+	}
+}
+
+func TestPrepareForward(t *testing.T) {
+	req := testRequest(&Stack{}, MethodInvite)
+	req.MaxForwards = 2
+	self := Addr{Node: "p", Port: 5060}
+	fwd, err := PrepareForward(req, self)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fwd.MaxForwards != 1 {
+		t.Fatalf("max-forwards = %d", fwd.MaxForwards)
+	}
+	if req.MaxForwards != 2 {
+		t.Fatal("original mutated")
+	}
+	fwd.MaxForwards = 0
+	if _, err := PrepareForward(fwd, self); err != ErrTooManyHops {
+		t.Fatalf("err = %v, want ErrTooManyHops", err)
+	}
+}
+
+func TestPrepareResponseForward(t *testing.T) {
+	resp := &Message{
+		StatusCode: 200, Reason: "OK",
+		From:   &NameAddr{URI: MustParseURI("sip:a@x")},
+		To:     &NameAddr{URI: MustParseURI("sip:b@y")},
+		CallID: "c", CSeq: CSeq{1, MethodInvite},
+		MaxForwards: -1, Expires: -1,
+		Via: []*Via{
+			{Transport: "UDP", Host: "proxy", Port: 5060, Params: map[string]string{"branch": "z9hG4bK-p"}},
+			{Transport: "UDP", Host: "ua", Port: 5062, Params: map[string]string{"branch": "z9hG4bK-u"}},
+		},
+	}
+	self := Addr{Node: "proxy", Port: 5060}
+	fwd, next, err := PrepareResponseForward(resp, self)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Node != "ua" || next.Port != 5062 {
+		t.Fatalf("next = %+v", next)
+	}
+	if len(fwd.Via) != 1 || fwd.Via[0].Host != "ua" {
+		t.Fatalf("via = %+v", fwd.Via)
+	}
+	// Forwarding when we are not the top Via is an error.
+	if _, _, err := PrepareResponseForward(fwd, self); err == nil {
+		t.Fatal("forwarded response with foreign top Via")
+	}
+}
+
+func TestHasLoop(t *testing.T) {
+	req := testRequest(&Stack{}, MethodInvite)
+	self := Addr{Node: "p", Port: 5060}
+	if HasLoop(req, self) {
+		t.Fatal("loop detected in fresh request")
+	}
+	req.Via = append(req.Via, &Via{Transport: "UDP", Host: "p", Port: 5060})
+	if !HasLoop(req, self) {
+		t.Fatal("loop not detected")
+	}
+}

@@ -1,0 +1,297 @@
+package sip
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ClientTx is a client transaction (RFC 3261 §17.1): it retransmits the
+// request over the unreliable transport until a response arrives or the
+// transaction times out, and delivers responses to the TU.
+type ClientTx struct {
+	stack *Stack
+	key   string
+	req   *Message
+	dst   Addr
+
+	mu         sync.Mutex
+	finalSent  bool
+	terminated bool
+	responses  chan *Message
+	done       chan struct{}
+	doneOnce   sync.Once
+}
+
+// ErrTimeout is delivered as a synthetic 408 response when a client
+// transaction expires without any response.
+var ErrTimeout = fmt.Errorf("sip: transaction timeout")
+
+func newClientTx(s *Stack, req *Message, dst Addr) *ClientTx {
+	return &ClientTx{
+		stack:     s,
+		key:       req.TransactionKey(),
+		req:       req,
+		dst:       dst,
+		responses: make(chan *Message, 8),
+		done:      make(chan struct{}),
+	}
+}
+
+// Request returns the request as sent (with this stack's Via on top).
+func (tx *ClientTx) Request() *Message { return tx.req }
+
+// Responses delivers provisional and final responses in arrival order. The
+// channel is closed when the transaction terminates. On timeout a synthetic
+// 408 with Reason "Request Timeout (local)" is delivered.
+func (tx *ClientTx) Responses() <-chan *Message { return tx.responses }
+
+// Done is closed when the transaction terminates.
+func (tx *ClientTx) Done() <-chan struct{} { return tx.done }
+
+// Await blocks until a final (>=200) response or transaction termination and
+// returns it; provisional responses are discarded.
+func (tx *ClientTx) Await() (*Message, error) {
+	for m := range tx.responses {
+		if m.StatusCode >= 200 {
+			return m, nil
+		}
+	}
+	return nil, ErrTimeout
+}
+
+// AwaitWithProvisional blocks like Await but invokes onProv for each
+// provisional response on the way (e.g. to surface 180 Ringing to the user).
+func (tx *ClientTx) AwaitWithProvisional(onProv func(*Message)) (*Message, error) {
+	for m := range tx.responses {
+		if m.StatusCode >= 200 {
+			return m, nil
+		}
+		if onProv != nil {
+			onProv(m)
+		}
+	}
+	return nil, ErrTimeout
+}
+
+func (tx *ClientTx) start() {
+	tx.stack.wg.Add(1)
+	go tx.run()
+}
+
+func (tx *ClientTx) run() {
+	defer tx.stack.wg.Done()
+	s := tx.stack
+	raw := tx.req.Marshal()
+	_ = s.conn.WriteTo(raw, tx.dst.Node, tx.dst.Port)
+
+	interval := s.cfg.T1
+	deadline := s.clk.Now().Add(64 * s.cfg.T1) // Timer B / F
+	for {
+		timer := s.clk.NewTimer(interval)
+		select {
+		case <-s.stop:
+			timer.Stop()
+			tx.terminate()
+			return
+		case <-tx.done:
+			timer.Stop()
+			return
+		case <-timer.C():
+		}
+		tx.mu.Lock()
+		final := tx.finalSent
+		tx.mu.Unlock()
+		if final {
+			return
+		}
+		if s.clk.Now().After(deadline) {
+			// Timeout: synthesize a 408 so callers see a final answer.
+			resp := NewResponse(tx.req, StatusRequestTimeout, "Request Timeout (local)")
+			tx.deliver(resp)
+			tx.terminate()
+			return
+		}
+		_ = s.conn.WriteTo(raw, tx.dst.Node, tx.dst.Port)
+		interval *= 2
+		if tx.req.Method != MethodInvite && interval > s.cfg.T2 {
+			interval = s.cfg.T2
+		}
+	}
+}
+
+func (tx *ClientTx) onResponse(m *Message) {
+	tx.mu.Lock()
+	if tx.finalSent {
+		tx.mu.Unlock()
+		return // absorb retransmitted finals
+	}
+	final := m.StatusCode >= 200
+	if final {
+		tx.finalSent = true
+	}
+	tx.mu.Unlock()
+	tx.deliver(m)
+	if !final {
+		return
+	}
+	// INVITE with non-2xx final: transaction-level ACK (RFC 3261
+	// §17.1.1.3), sent to the same destination as the INVITE.
+	if tx.req.Method == MethodInvite && m.StatusCode >= 300 {
+		ack := buildTxAck(tx.req, m)
+		_ = tx.stack.Send(ack, tx.dst)
+	}
+	// Linger briefly (Timer D/K) so retransmitted finals are absorbed,
+	// then terminate.
+	s := tx.stack
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		timer := s.clk.NewTimer(4 * s.cfg.T1)
+		select {
+		case <-s.stop:
+			timer.Stop()
+		case <-timer.C():
+		}
+		tx.terminate()
+	}()
+}
+
+func (tx *ClientTx) deliver(m *Message) {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.terminated {
+		return // the channel is closed or closing
+	}
+	select {
+	case tx.responses <- m:
+	default:
+		// TU is not draining; dropping beats blocking the stack.
+	}
+}
+
+func (tx *ClientTx) terminate() {
+	tx.doneOnce.Do(func() {
+		tx.stack.removeClientTx(tx.key)
+		// Order matters: mark terminated under the mutex so no deliver
+		// can be mid-send when the channel closes.
+		tx.mu.Lock()
+		tx.terminated = true
+		tx.mu.Unlock()
+		close(tx.done)
+		close(tx.responses)
+	})
+}
+
+// buildTxAck constructs the transaction-level ACK for a non-2xx INVITE
+// response (RFC 3261 §17.1.1.3): same branch and headers as the INVITE, To
+// from the response.
+func buildTxAck(invite, resp *Message) *Message {
+	ack := NewRequest(MethodAck, invite.RequestURI.Clone())
+	ack.Via = []*Via{invite.Via[0].clone()}
+	ack.From = invite.From.Clone()
+	ack.To = resp.To.Clone()
+	ack.CallID = invite.CallID
+	ack.CSeq = CSeq{Seq: invite.CSeq.Seq, Method: MethodAck}
+	ack.Route = cloneNameAddrs(invite.Route)
+	return ack
+}
+
+// ServerTx is a server transaction (RFC 3261 §17.2): it absorbs request
+// retransmissions by replaying the last response and expires after 64×T1.
+type ServerTx struct {
+	stack *Stack
+	key   string
+	req   *Message
+	src   Addr
+	// ackOnly marks synthetic transactions wrapping a 2xx ACK, which
+	// never send responses.
+	ackOnly bool
+
+	mu       sync.Mutex
+	lastResp []byte
+	acked    bool
+	finished bool
+}
+
+func newServerTx(s *Stack, req *Message, src Addr, ackOnly bool) *ServerTx {
+	return &ServerTx{
+		stack:   s,
+		key:     req.TransactionKey(),
+		req:     req,
+		src:     src,
+		ackOnly: ackOnly,
+	}
+}
+
+// Request returns the triggering request.
+func (tx *ServerTx) Request() *Message { return tx.req }
+
+// Source returns the transport address the request arrived from — where
+// responses must be sent (RFC 3261 §18.2.2 "received" behaviour).
+func (tx *ServerTx) Source() Addr { return tx.src }
+
+// Respond sends a response built by the TU. Final responses are recorded so
+// request retransmissions are answered without bothering the TU again.
+func (tx *ServerTx) Respond(resp *Message) error {
+	if tx.ackOnly {
+		return fmt.Errorf("sip: ACK takes no response")
+	}
+	raw := resp.Marshal()
+	tx.mu.Lock()
+	if resp.StatusCode >= 200 {
+		tx.lastResp = raw
+	}
+	tx.mu.Unlock()
+	return tx.stack.conn.WriteTo(raw, tx.src.Node, tx.src.Port)
+}
+
+// RespondCode is a convenience wrapper building a response from the request.
+func (tx *ServerTx) RespondCode(code int, reason string) error {
+	resp := NewResponse(tx.req, code, reason)
+	if code > 100 && tx.req.To.Tag() == "" {
+		resp.To.SetTag(tx.stack.NewTag())
+	}
+	return tx.Respond(resp)
+}
+
+// Acked reports whether an ACK for this (INVITE) transaction arrived.
+func (tx *ServerTx) Acked() bool {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	return tx.acked
+}
+
+// onRequest handles retransmissions and transaction-level ACKs.
+func (tx *ServerTx) onRequest(m *Message) {
+	if m.Method == MethodAck {
+		tx.mu.Lock()
+		tx.acked = true
+		tx.mu.Unlock()
+		return
+	}
+	tx.mu.Lock()
+	raw := tx.lastResp
+	tx.mu.Unlock()
+	if raw != nil {
+		_ = tx.stack.conn.WriteTo(raw, tx.src.Node, tx.src.Port)
+	}
+}
+
+// scheduleExpiry arms the transaction lifetime (Timer J/H analogue).
+func (tx *ServerTx) scheduleExpiry() {
+	s := tx.stack
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		timer := s.clk.NewTimer(64 * s.cfg.T1)
+		select {
+		case <-s.stop:
+			timer.Stop()
+		case <-timer.C():
+		}
+		tx.mu.Lock()
+		tx.finished = true
+		tx.mu.Unlock()
+		s.removeServerTx(tx.key)
+	}()
+}

@@ -1,0 +1,309 @@
+package sip
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// URI is a SIP URI of the form sip:user@host:port;param=value.
+type URI struct {
+	Scheme string // "sip" (default) or "sips"
+	User   string
+	Host   string
+	Port   uint16 // 0 means unspecified (default 5060)
+	Params map[string]string
+}
+
+// DefaultPort is the well-known SIP port.
+const DefaultPort uint16 = 5060
+
+// ParseURI parses a SIP URI.
+func ParseURI(s string) (*URI, error) {
+	u := &URI{Scheme: "sip"}
+	rest := s
+	switch {
+	case strings.HasPrefix(rest, "sips:"):
+		u.Scheme = "sips"
+		rest = rest[len("sips:"):]
+	case strings.HasPrefix(rest, "sip:"):
+		rest = rest[len("sip:"):]
+	default:
+		return nil, fmt.Errorf("sip: uri %q: missing sip: scheme", s)
+	}
+	if i := strings.IndexByte(rest, ';'); i >= 0 {
+		params, err := parseParams(rest[i+1:])
+		if err != nil {
+			return nil, fmt.Errorf("sip: uri %q: %v", s, err)
+		}
+		u.Params = params
+		rest = rest[:i]
+	}
+	if i := strings.IndexByte(rest, '@'); i >= 0 {
+		u.User = rest[:i]
+		rest = rest[i+1:]
+	}
+	if rest == "" {
+		return nil, fmt.Errorf("sip: uri %q: empty host", s)
+	}
+	host, port, err := splitHostPort(rest)
+	if err != nil {
+		return nil, fmt.Errorf("sip: uri %q: %v", s, err)
+	}
+	if !validHost(host) {
+		return nil, fmt.Errorf("sip: uri %q: invalid host %q", s, host)
+	}
+	if !validUser(u.User) {
+		return nil, fmt.Errorf("sip: uri %q: invalid user %q", s, u.User)
+	}
+	u.Host, u.Port = host, port
+	return u, nil
+}
+
+// validHost accepts hostnames and dotted addresses: alphanumerics plus
+// ".-_" (node IDs in the emulator follow the same shape).
+func validHost(host string) bool {
+	if host == "" {
+		return false
+	}
+	for _, r := range host {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '.' || r == '-' || r == '_' || r == '*':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validUser rejects characters that would break the name-addr and header
+// syntax around the URI.
+func validUser(user string) bool {
+	return !strings.ContainsAny(user, `<>"@;, `+"\t\r\n")
+}
+
+// MustParseURI parses s or panics; for tests and static configuration only.
+func MustParseURI(s string) *URI {
+	u, err := ParseURI(s)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+func splitHostPort(s string) (string, uint16, error) {
+	i := strings.LastIndexByte(s, ':')
+	if i < 0 {
+		return s, 0, nil
+	}
+	p, err := strconv.ParseUint(s[i+1:], 10, 16)
+	if err != nil {
+		return "", 0, fmt.Errorf("bad port %q", s[i+1:])
+	}
+	return s[:i], uint16(p), nil
+}
+
+func parseParams(s string) (map[string]string, error) {
+	params := make(map[string]string)
+	for _, kv := range strings.Split(s, ";") {
+		if kv == "" {
+			continue
+		}
+		key, value := kv, ""
+		if i := strings.IndexByte(kv, '='); i >= 0 {
+			key, value = kv[:i], kv[i+1:]
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		if key == "" {
+			continue // `;=` and friends carry no information
+		}
+		params[key] = strings.TrimSpace(value)
+	}
+	return params, nil
+}
+
+func formatParams(params map[string]string) string {
+	if len(params) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		if k != "" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteByte(';')
+		b.WriteString(k)
+		if v := params[k]; v != "" {
+			b.WriteByte('=')
+			b.WriteString(v)
+		}
+	}
+	return b.String()
+}
+
+// String renders the URI.
+func (u *URI) String() string {
+	var b strings.Builder
+	b.WriteString(u.Scheme)
+	b.WriteByte(':')
+	if u.User != "" {
+		b.WriteString(u.User)
+		b.WriteByte('@')
+	}
+	b.WriteString(u.Host)
+	if u.Port != 0 {
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(int(u.Port)))
+	}
+	b.WriteString(formatParams(u.Params))
+	return b.String()
+}
+
+// Clone returns a deep copy.
+func (u *URI) Clone() *URI {
+	if u == nil {
+		return nil
+	}
+	c := *u
+	if u.Params != nil {
+		c.Params = make(map[string]string, len(u.Params))
+		for k, v := range u.Params {
+			c.Params[k] = v
+		}
+	}
+	return &c
+}
+
+// AddressOfRecord returns the canonical user@host form used as SLP / registrar
+// key, e.g. "alice@voicehoc.ch".
+func (u *URI) AddressOfRecord() string {
+	if u.User == "" {
+		return u.Host
+	}
+	return u.User + "@" + u.Host
+}
+
+// PortOrDefault returns the explicit port or 5060.
+func (u *URI) PortOrDefault() uint16 {
+	if u.Port == 0 {
+		return DefaultPort
+	}
+	return u.Port
+}
+
+// NameAddr is a name-addr header value: optional display name, URI in angle
+// brackets, and header parameters (e.g. tag).
+type NameAddr struct {
+	Display string
+	URI     *URI
+	Params  map[string]string
+}
+
+// ParseNameAddr parses From/To/Contact/Route style values.
+func ParseNameAddr(s string) (*NameAddr, error) {
+	na := &NameAddr{}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("sip: empty name-addr")
+	}
+	if strings.HasPrefix(s, `"`) {
+		end := strings.Index(s[1:], `"`)
+		if end < 0 {
+			return nil, fmt.Errorf("sip: unterminated display name in %q", s)
+		}
+		na.Display = s[1 : 1+end]
+		s = strings.TrimSpace(s[2+end:])
+	}
+	var uriStr, paramStr string
+	if i := strings.IndexByte(s, '<'); i >= 0 {
+		j := strings.IndexByte(s, '>')
+		if j < i {
+			return nil, fmt.Errorf("sip: malformed name-addr %q", s)
+		}
+		if na.Display == "" {
+			na.Display = strings.TrimSpace(s[:i])
+		}
+		uriStr = s[i+1 : j]
+		paramStr = strings.TrimPrefix(strings.TrimSpace(s[j+1:]), ";")
+	} else {
+		// addr-spec form: params after ';' belong to the header.
+		if i := strings.IndexByte(s, ';'); i >= 0 {
+			uriStr, paramStr = s[:i], s[i+1:]
+		} else {
+			uriStr = s
+		}
+	}
+	u, err := ParseURI(strings.TrimSpace(uriStr))
+	if err != nil {
+		return nil, err
+	}
+	na.URI = u
+	if paramStr != "" {
+		params, err := parseParams(paramStr)
+		if err != nil {
+			return nil, err
+		}
+		na.Params = params
+	}
+	return na, nil
+}
+
+// String renders the name-addr with the URI in angle brackets. Characters
+// that would break the quoted display-name syntax (quotes, backslashes,
+// CR/LF — header-injection vectors) are stripped.
+func (n *NameAddr) String() string {
+	var b strings.Builder
+	if display := sanitizeDisplay(n.Display); display != "" {
+		b.WriteByte('"')
+		b.WriteString(display)
+		b.WriteString(`" `)
+	}
+	b.WriteByte('<')
+	b.WriteString(n.URI.String())
+	b.WriteByte('>')
+	b.WriteString(formatParams(n.Params))
+	return b.String()
+}
+
+func sanitizeDisplay(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '"', '\\', '\r', '\n':
+			return -1
+		default:
+			return r
+		}
+	}, s)
+}
+
+// Clone returns a deep copy.
+func (n *NameAddr) Clone() *NameAddr {
+	if n == nil {
+		return nil
+	}
+	c := &NameAddr{Display: n.Display, URI: n.URI.Clone()}
+	if n.Params != nil {
+		c.Params = make(map[string]string, len(n.Params))
+		for k, v := range n.Params {
+			c.Params[k] = v
+		}
+	}
+	return c
+}
+
+// Tag returns the tag parameter ("" if absent).
+func (n *NameAddr) Tag() string { return n.Params["tag"] }
+
+// SetTag sets the tag parameter.
+func (n *NameAddr) SetTag(tag string) {
+	if n.Params == nil {
+		n.Params = make(map[string]string, 1)
+	}
+	n.Params["tag"] = tag
+}

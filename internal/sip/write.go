@@ -1,0 +1,107 @@
+package sip
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Marshal renders the message in SIP wire format with CRLF line endings and
+// an accurate Content-Length.
+func (m *Message) Marshal() []byte {
+	var b strings.Builder
+	b.Grow(512 + len(m.Body))
+	if m.IsRequest() {
+		b.WriteString(m.Method)
+		b.WriteByte(' ')
+		b.WriteString(m.RequestURI.String())
+		b.WriteString(" SIP/2.0\r\n")
+	} else {
+		b.WriteString("SIP/2.0 ")
+		b.WriteString(strconv.Itoa(m.StatusCode))
+		b.WriteByte(' ')
+		b.WriteString(m.Reason)
+		b.WriteString("\r\n")
+	}
+	for _, v := range m.Via {
+		writeHeader(&b, "Via", v.String())
+	}
+	if len(m.Route) > 0 {
+		writeHeader(&b, "Route", joinNameAddrs(m.Route))
+	}
+	if len(m.RecordRoute) > 0 {
+		writeHeader(&b, "Record-Route", joinNameAddrs(m.RecordRoute))
+	}
+	if m.From != nil {
+		writeHeader(&b, "From", m.From.String())
+	}
+	if m.To != nil {
+		writeHeader(&b, "To", m.To.String())
+	}
+	if m.CallID != "" {
+		writeHeader(&b, "Call-ID", m.CallID)
+	}
+	if m.CSeq.Method != "" {
+		writeHeader(&b, "CSeq", m.CSeq.String())
+	}
+	for _, c := range m.Contact {
+		if c.Display == "*" {
+			writeHeader(&b, "Contact", "*")
+		} else {
+			writeHeader(&b, "Contact", c.String())
+		}
+	}
+	if m.MaxForwards >= 0 {
+		writeHeader(&b, "Max-Forwards", strconv.Itoa(m.MaxForwards))
+	}
+	if m.Expires >= 0 {
+		writeHeader(&b, "Expires", strconv.Itoa(m.Expires))
+	}
+	if m.UserAgent != "" {
+		writeHeader(&b, "User-Agent", m.UserAgent)
+	}
+	if m.ContentType != "" {
+		writeHeader(&b, "Content-Type", m.ContentType)
+	}
+	// Unknown headers in deterministic order.
+	if len(m.Other) > 0 {
+		keys := make([]string, 0, len(m.Other))
+		for k := range m.Other {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			for _, v := range m.Other[k] {
+				writeHeader(&b, k, v)
+			}
+		}
+	}
+	writeHeader(&b, "Content-Length", strconv.Itoa(len(m.Body)))
+	b.WriteString("\r\n")
+	b.Write(m.Body)
+	return []byte(b.String())
+}
+
+func writeHeader(b *strings.Builder, name, value string) {
+	b.WriteString(name)
+	b.WriteString(": ")
+	b.WriteString(value)
+	b.WriteString("\r\n")
+}
+
+func joinNameAddrs(nas []*NameAddr) string {
+	parts := make([]string, len(nas))
+	for i, na := range nas {
+		parts[i] = na.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// String renders the start line plus key headers, for logs and experiment
+// output.
+func (m *Message) String() string {
+	if m.IsRequest() {
+		return m.Method + " " + m.RequestURI.String()
+	}
+	return strconv.Itoa(m.StatusCode) + " " + m.Reason
+}

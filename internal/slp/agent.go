@@ -1,0 +1,627 @@
+// Package slp implements the paper's MANET SLP layer: a Service Location
+// Protocol agent that provides a regular SLP interface (register / lookup)
+// but disseminates service information in a decentralized way by
+// piggybacking it onto routing control messages via routing-handler plugins
+// — the paper's replacement for multicast-heavy standard SLP, which is known
+// to perform poorly in MANETs.
+//
+// Two modes are supported, forming the ablation behind experiment E9:
+//
+//   - ModePiggyback (the paper's design): adverts and queries ride the
+//     extension slot of AODV/OLSR control messages and spread epidemically;
+//     answers are returned as unicast datagrams to the querying node. No
+//     dedicated discovery frames ever hit the air.
+//   - ModeMulticast (the standard-SLP baseline): each lookup floods a
+//     SrvRqst through the network as dedicated service frames, as original
+//     SLP would over multicast.
+package slp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"siphoc/internal/clock"
+	"siphoc/internal/netem"
+	"siphoc/internal/routing"
+)
+
+// Mode selects the dissemination strategy.
+type Mode int
+
+// Modes.
+const (
+	ModePiggyback Mode = iota + 1
+	ModeMulticast
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModePiggyback:
+		return "piggyback"
+	case ModeMulticast:
+		return "multicast"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// ErrNotFound is returned by Lookup when no answer arrives in time.
+var ErrNotFound = errors.New("slp: service not found")
+
+// Config tunes the agent; the zero value gets piggyback mode with defaults
+// suitable for simulation.
+type Config struct {
+	// Mode selects piggyback (default) or multicast dissemination.
+	Mode Mode
+	// AdvertTTL is the service registration lifetime (default 30s).
+	AdvertTTL time.Duration
+	// QueryHops bounds epidemic/flood propagation of queries (default 8).
+	QueryHops uint8
+	// QueryRelayTTL is how long foreign queries keep riding our outgoing
+	// routing messages (default 2s).
+	QueryRelayTTL time.Duration
+	// Clock is the time source (default the system clock).
+	Clock clock.Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.Mode == 0 {
+		c.Mode = ModePiggyback
+	}
+	if c.AdvertTTL == 0 {
+		c.AdvertTTL = 30 * time.Second
+	}
+	if c.QueryHops == 0 {
+		c.QueryHops = 8
+	}
+	if c.QueryRelayTTL == 0 {
+		c.QueryRelayTTL = 2 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = clock.New()
+	}
+	return c
+}
+
+// AgentStats counts agent activity.
+type AgentStats struct {
+	AdvertsAccepted int64 // remote adverts installed or refreshed
+	QueriesAnswered int64 // unicast replies sent
+	QueriesRelayed  int64 // foreign queries added to the relay set
+	Lookups         int64
+	CacheHits       int64
+	FloodsSent      int64 // multicast-mode SrvRqst broadcasts
+}
+
+type qkey struct {
+	origin netem.NodeID
+	id     uint32
+}
+
+type relayEntry struct {
+	q       Query
+	expires time.Time
+}
+
+// Agent is one node's MANET SLP process.
+type Agent struct {
+	host *netem.Host
+	cfg  Config
+	clk  clock.Clock
+
+	conn  *netem.Conn
+	cache *cache
+
+	mu       sync.Mutex
+	local    map[cacheKey]Service
+	seq      uint32
+	qid      uint32
+	pendingQ map[cacheKey]Query
+	relayQ   map[qkey]relayEntry
+	seenQ    map[qkey]time.Time
+	plugin   string
+	stats    AgentStats
+	started  bool
+	closed   bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+var _ routing.PiggybackHandler = (*Agent)(nil)
+
+// NewAgent creates the SLP agent for host. Call AttachRouting before
+// starting the routing protocol, then Start.
+func NewAgent(host *netem.Host, cfg Config) *Agent {
+	cfg = cfg.withDefaults()
+	return &Agent{
+		host:     host,
+		cfg:      cfg,
+		clk:      cfg.Clock,
+		cache:    newCache(),
+		local:    make(map[cacheKey]Service),
+		pendingQ: make(map[cacheKey]Query),
+		relayQ:   make(map[qkey]relayEntry),
+		seenQ:    make(map[qkey]time.Time),
+		stop:     make(chan struct{}),
+	}
+}
+
+// AttachRouting loads this agent as the routing-handler plugin of p
+// (piggyback mode only; harmless otherwise). Must precede p.Start.
+func (a *Agent) AttachRouting(p routing.Protocol) {
+	a.mu.Lock()
+	a.plugin = p.Name()
+	a.mu.Unlock()
+	if a.cfg.Mode == ModePiggyback {
+		p.SetPiggyback(a)
+	}
+}
+
+// Plugin returns the name of the attached routing plugin ("" if none).
+func (a *Agent) Plugin() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.plugin
+}
+
+// Mode returns the dissemination mode.
+func (a *Agent) Mode() Mode { return a.cfg.Mode }
+
+// Start binds the SLP port and begins processing.
+func (a *Agent) Start() error {
+	a.mu.Lock()
+	if a.started {
+		a.mu.Unlock()
+		return fmt.Errorf("slp: already started")
+	}
+	a.started = true
+	a.mu.Unlock()
+	conn, err := a.host.Listen(Port)
+	if err != nil {
+		return fmt.Errorf("slp: bind port %d: %w", Port, err)
+	}
+	a.conn = conn
+	if err := a.host.HandleFrames(netem.KindService, a.onServiceFrame); err != nil {
+		conn.Close()
+		return err
+	}
+	a.wg.Add(2)
+	go a.recvLoop()
+	go a.refreshLoop()
+	return nil
+}
+
+// Stop terminates the agent.
+func (a *Agent) Stop() {
+	a.mu.Lock()
+	if !a.started || a.closed {
+		a.mu.Unlock()
+		return
+	}
+	a.closed = true
+	a.mu.Unlock()
+	close(a.stop)
+	a.conn.Close()
+	a.wg.Wait()
+}
+
+// Stats returns a snapshot of the agent counters.
+func (a *Agent) Stats() AgentStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// Register publishes a service from this node. Type, Key and URL are
+// required; Origin and Seq are stamped by the agent.
+func (a *Agent) Register(svc Service) error {
+	if svc.Type == "" || svc.URL == "" {
+		return fmt.Errorf("slp: registration needs Type and URL")
+	}
+	now := a.clk.Now()
+	a.mu.Lock()
+	a.seq++
+	svc.Origin = a.host.ID()
+	svc.Seq = a.seq
+	svc.Expires = now.Add(a.cfg.AdvertTTL)
+	a.local[cacheKey{svc.Type, svc.Key}] = svc
+	a.mu.Unlock()
+	// The local cache answers lookups on this node immediately.
+	a.cache.upsert(svc)
+	return nil
+}
+
+// Deregister withdraws a local registration.
+func (a *Agent) Deregister(stype, key string) {
+	a.mu.Lock()
+	delete(a.local, cacheKey{stype, key})
+	a.mu.Unlock()
+	a.cache.remove(stype, key)
+}
+
+// LookupCached returns the locally known service, if any. An empty key is a
+// wildcard matching any service of the type.
+func (a *Agent) LookupCached(stype, key string) (Service, bool) {
+	if key == "" {
+		return a.cache.getAny(stype, a.clk.Now())
+	}
+	return a.cache.get(stype, key, a.clk.Now())
+}
+
+// Lookup resolves a service, waiting up to timeout for the network to
+// answer. In piggyback mode the query rides outgoing routing messages; in
+// multicast mode it floods dedicated service frames.
+func (a *Agent) Lookup(stype, key string, timeout time.Duration) (Service, error) {
+	a.mu.Lock()
+	a.stats.Lookups++
+	a.mu.Unlock()
+	if svc, ok := a.LookupCached(stype, key); ok {
+		a.mu.Lock()
+		a.stats.CacheHits++
+		a.mu.Unlock()
+		return svc, nil
+	}
+	ch, cancel := a.cache.wait(stype, key)
+	defer cancel()
+
+	a.mu.Lock()
+	a.qid++
+	q := Query{Type: stype, Key: key, Origin: a.host.ID(), ID: a.qid, Hops: a.cfg.QueryHops}
+	a.seenQ[qkey{q.Origin, q.ID}] = a.clk.Now()
+	ck := cacheKey{stype, key}
+	if a.cfg.Mode == ModePiggyback {
+		a.pendingQ[ck] = q
+	}
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		delete(a.pendingQ, ck)
+		a.mu.Unlock()
+	}()
+
+	var refloodC <-chan time.Time
+	if a.cfg.Mode == ModeMulticast {
+		a.floodQuery(q)
+		// Retry the flood a couple of times within the timeout, like an
+		// SLP UA reissuing SrvRqst.
+		t := a.clk.NewTimer(timeout / 3)
+		defer t.Stop()
+		refloodC = t.C()
+	}
+	deadline := a.clk.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case svc := <-ch:
+			return svc, nil
+		case <-refloodC:
+			a.mu.Lock()
+			a.qid++
+			q.ID = a.qid
+			a.seenQ[qkey{q.Origin, q.ID}] = a.clk.Now()
+			a.mu.Unlock()
+			a.floodQuery(q)
+			t := a.clk.NewTimer(timeout / 3)
+			defer t.Stop()
+			refloodC = t.C()
+		case <-deadline.C():
+			return Service{}, fmt.Errorf("lookup %s/%s: %w", stype, key, ErrNotFound)
+		case <-a.stop:
+			return Service{}, fmt.Errorf("lookup %s/%s: agent stopped: %w", stype, key, ErrNotFound)
+		}
+	}
+}
+
+// Services returns the live registrations known to this agent (local and
+// learned), optionally filtered by type.
+func (a *Agent) Services(stype string) []Service {
+	return a.cache.snapshot(stype, a.clk.Now())
+}
+
+// Dump renders the agent state in the style of the paper's Figure 4: the
+// loaded routing plugin, local registrations and the learned cache.
+func (a *Agent) Dump() string {
+	now := a.clk.Now()
+	a.mu.Lock()
+	plugin := a.plugin
+	locals := make([]Service, 0, len(a.local))
+	for _, svc := range a.local {
+		locals = append(locals, svc)
+	}
+	mode := a.cfg.Mode
+	a.mu.Unlock()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "manetslp: node %s (mode %s)\n", a.host.ID(), mode)
+	if plugin != "" {
+		fmt.Fprintf(&b, "manetslp: loaded routing plugin: %s\n", plugin)
+	} else {
+		b.WriteString("manetslp: no routing plugin loaded\n")
+	}
+	b.WriteString("manetslp: local registrations:\n")
+	for _, svc := range locals {
+		fmt.Fprintf(&b, "manetslp:   %-40s %s/%s (seq %d)\n", svc.URL, svc.Type, svc.Key, svc.Seq)
+	}
+	b.WriteString("manetslp: cache:\n")
+	for _, svc := range a.cache.snapshot("", now) {
+		if svc.Origin == a.host.ID() {
+			continue
+		}
+		fmt.Fprintf(&b, "manetslp:   %-40s %s/%s from %s (expires in %ds)\n",
+			svc.URL, svc.Type, svc.Key, svc.Origin, int(svc.Expires.Sub(now).Seconds()))
+	}
+	return b.String()
+}
+
+// ---- routing.PiggybackHandler ----
+
+// Outgoing packs pending queries, local registrations and cached adverts
+// into the routing message's extension slot, within budget.
+func (a *Agent) Outgoing(msg routing.Outgoing) []byte {
+	now := a.clk.Now()
+	p := &Payload{}
+	budget := msg.Budget - 8 // headroom for the counts
+	if budget <= 0 {
+		return nil
+	}
+	a.mu.Lock()
+	for _, q := range a.pendingQ {
+		if s := sizeOfQuery(&q); s <= budget {
+			p.Queries = append(p.Queries, q)
+			budget -= s
+		}
+	}
+	for k, re := range a.relayQ {
+		if now.After(re.expires) {
+			delete(a.relayQ, k)
+			continue
+		}
+		if s := sizeOfQuery(&re.q); s <= budget {
+			p.Queries = append(p.Queries, re.q)
+			budget -= s
+		}
+	}
+	locals := make([]Advert, 0, len(a.local))
+	for _, svc := range a.local {
+		locals = append(locals, serviceToAdvert(svc, a.cfg.AdvertTTL))
+	}
+	a.mu.Unlock()
+	for i := range locals {
+		if s := sizeOfAdvert(&locals[i]); s <= budget {
+			p.Adverts = append(p.Adverts, locals[i])
+			budget -= s
+		}
+	}
+	// Gossip learned entries so information spreads beyond one hop.
+	for _, svc := range a.cache.snapshot("", now) {
+		if svc.Origin == a.host.ID() {
+			continue
+		}
+		adv := Advert{
+			Type: svc.Type, Key: svc.Key, URL: svc.URL, Attrs: svc.Attrs,
+			Origin: svc.Origin, Seq: svc.Seq,
+			TTLSec: ttlSec(svc.Expires.Sub(now)),
+		}
+		if adv.TTLSec == 0 {
+			continue
+		}
+		s := sizeOfAdvert(&adv)
+		if s > budget {
+			break
+		}
+		p.Adverts = append(p.Adverts, adv)
+		budget -= s
+	}
+	if len(p.Adverts) == 0 && len(p.Queries) == 0 {
+		return nil
+	}
+	return p.Marshal()
+}
+
+// Incoming handles extensions found on received routing messages.
+func (a *Agent) Incoming(msg routing.Incoming) {
+	p, err := ParsePayload(msg.Ext)
+	if err != nil {
+		return
+	}
+	a.handlePayload(p)
+}
+
+func serviceToAdvert(svc Service, ttl time.Duration) Advert {
+	return Advert{
+		Type: svc.Type, Key: svc.Key, URL: svc.URL, Attrs: svc.Attrs,
+		Origin: svc.Origin, Seq: svc.Seq, TTLSec: ttlSec(ttl),
+	}
+}
+
+func ttlSec(d time.Duration) uint16 {
+	s := int64(d / time.Second)
+	if s <= 0 {
+		return 0
+	}
+	if s > 0xffff {
+		return 0xffff
+	}
+	return uint16(s)
+}
+
+// handlePayload processes adverts and queries from any source (piggyback
+// extension, unicast reply, or multicast flood).
+func (a *Agent) handlePayload(p *Payload) {
+	now := a.clk.Now()
+	self := a.host.ID()
+	for _, adv := range p.Adverts {
+		if adv.Origin == self || adv.TTLSec == 0 {
+			continue
+		}
+		svc := Service{
+			Type: adv.Type, Key: adv.Key, URL: adv.URL, Attrs: adv.Attrs,
+			Origin: adv.Origin, Seq: adv.Seq,
+			Expires: now.Add(time.Duration(adv.TTLSec) * time.Second),
+		}
+		if a.cache.upsert(svc) {
+			a.mu.Lock()
+			a.stats.AdvertsAccepted++
+			a.mu.Unlock()
+		}
+	}
+	for _, q := range p.Queries {
+		a.handleQuery(q)
+	}
+}
+
+func (a *Agent) handleQuery(q Query) {
+	if q.Origin == a.host.ID() {
+		return
+	}
+	now := a.clk.Now()
+	k := qkey{q.Origin, q.ID}
+	a.mu.Lock()
+	if _, seen := a.seenQ[k]; seen {
+		a.mu.Unlock()
+		return
+	}
+	a.seenQ[k] = now
+	if len(a.seenQ) > 8192 {
+		for key, t := range a.seenQ {
+			if now.Sub(t) > 4*a.cfg.QueryRelayTTL {
+				delete(a.seenQ, key)
+			}
+		}
+	}
+	a.mu.Unlock()
+
+	if svc, ok := a.queryMatch(q, now); ok {
+		// Answer with a unicast reply to the querying node's SLP port.
+		reply := &Payload{Adverts: []Advert{serviceToAdvert(svc, svc.Expires.Sub(now))}}
+		a.mu.Lock()
+		a.stats.QueriesAnswered++
+		a.mu.Unlock()
+		_ = a.conn.WriteTo(reply.Marshal(), q.Origin, Port)
+		return
+	}
+	if q.Hops <= 1 {
+		return
+	}
+	q.Hops--
+	a.mu.Lock()
+	a.stats.QueriesRelayed++
+	a.relayQ[k] = relayEntry{q: q, expires: now.Add(a.cfg.QueryRelayTTL)}
+	a.mu.Unlock()
+}
+
+// queryMatch resolves a query against the cache; an empty key matches any
+// service of the type.
+func (a *Agent) queryMatch(q Query, now time.Time) (Service, bool) {
+	if q.Key == "" {
+		return a.cache.getAny(q.Type, now)
+	}
+	return a.cache.get(q.Type, q.Key, now)
+}
+
+// ---- multicast baseline ----
+
+// floodQuery broadcasts a SrvRqst as a dedicated service frame.
+func (a *Agent) floodQuery(q Query) {
+	a.mu.Lock()
+	a.stats.FloodsSent++
+	a.mu.Unlock()
+	p := &Payload{Queries: []Query{q}}
+	_ = a.host.SendFrame(netem.Broadcast, netem.KindService, p.Marshal())
+}
+
+// onServiceFrame handles multicast-mode floods: dedup, answer if known,
+// otherwise re-broadcast with a decremented hop budget.
+func (a *Agent) onServiceFrame(f netem.Frame) {
+	p, err := ParsePayload(f.Payload)
+	if err != nil {
+		return
+	}
+	now := a.clk.Now()
+	for _, adv := range p.Adverts {
+		if adv.Origin == a.host.ID() || adv.TTLSec == 0 {
+			continue
+		}
+		a.cache.upsert(Service{
+			Type: adv.Type, Key: adv.Key, URL: adv.URL, Attrs: adv.Attrs,
+			Origin: adv.Origin, Seq: adv.Seq,
+			Expires: now.Add(time.Duration(adv.TTLSec) * time.Second),
+		})
+	}
+	for _, q := range p.Queries {
+		if q.Origin == a.host.ID() {
+			continue
+		}
+		k := qkey{q.Origin, q.ID}
+		a.mu.Lock()
+		if _, seen := a.seenQ[k]; seen {
+			a.mu.Unlock()
+			continue
+		}
+		a.seenQ[k] = now
+		a.mu.Unlock()
+		if svc, ok := a.queryMatch(q, now); ok {
+			reply := &Payload{Adverts: []Advert{serviceToAdvert(svc, svc.Expires.Sub(now))}}
+			a.mu.Lock()
+			a.stats.QueriesAnswered++
+			a.mu.Unlock()
+			_ = a.conn.WriteTo(reply.Marshal(), q.Origin, Port)
+			continue
+		}
+		if q.Hops > 1 {
+			q.Hops--
+			fwd := &Payload{Queries: []Query{q}}
+			_ = a.host.SendFrame(netem.Broadcast, netem.KindService, fwd.Marshal())
+		}
+	}
+}
+
+// recvLoop processes unicast SLP datagrams (query replies).
+func (a *Agent) recvLoop() {
+	defer a.wg.Done()
+	for {
+		dg, ok := a.conn.Recv()
+		if !ok {
+			return
+		}
+		p, err := ParsePayload(dg.Data)
+		if err != nil {
+			continue
+		}
+		a.handlePayload(p)
+	}
+}
+
+// refreshLoop periodically bumps local registration sequence numbers so
+// remote caches keep them alive.
+func (a *Agent) refreshLoop() {
+	defer a.wg.Done()
+	interval := a.cfg.AdvertTTL / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	for {
+		timer := a.clk.NewTimer(interval)
+		select {
+		case <-a.stop:
+			timer.Stop()
+			return
+		case <-timer.C():
+		}
+		now := a.clk.Now()
+		a.mu.Lock()
+		for k, svc := range a.local {
+			a.seq++
+			svc.Seq = a.seq
+			svc.Expires = now.Add(a.cfg.AdvertTTL)
+			a.local[k] = svc
+			a.cache.upsert(svc)
+		}
+		a.mu.Unlock()
+	}
+}

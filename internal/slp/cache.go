@@ -1,0 +1,139 @@
+package slp
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+type cacheKey struct {
+	stype string
+	key   string
+}
+
+// cache stores remote service registrations learned from the network,
+// applying per-origin freshness (higher Seq wins; equal Seq refreshes the
+// expiry) and lazy TTL expiry.
+type cache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]Service
+	// waiters are lookup calls blocked until a matching entry appears.
+	waiters map[cacheKey][]chan Service
+}
+
+func newCache() *cache {
+	return &cache{
+		entries: make(map[cacheKey]Service),
+		waiters: make(map[cacheKey][]chan Service),
+	}
+}
+
+// upsert applies the freshness rule; it reports whether the entry was
+// accepted (installed or refreshed). Wildcard waiters (key "") of the same
+// type are signalled too.
+func (c *cache) upsert(svc Service) bool {
+	k := cacheKey{svc.Type, svc.Key}
+	c.mu.Lock()
+	cur, ok := c.entries[k]
+	if ok && cur.Origin == svc.Origin && cur.Seq > svc.Seq {
+		c.mu.Unlock()
+		return false
+	}
+	c.entries[k] = svc
+	waiters := c.waiters[k]
+	delete(c.waiters, k)
+	if svc.Key != "" {
+		wk := cacheKey{svc.Type, ""}
+		waiters = append(waiters, c.waiters[wk]...)
+		delete(c.waiters, wk)
+	}
+	c.mu.Unlock()
+	for _, ch := range waiters {
+		ch <- svc
+	}
+	return true
+}
+
+// getAny returns any live service of the given type (wildcard lookup).
+func (c *cache) getAny(stype string, now time.Time) (Service, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, svc := range c.entries {
+		if k.stype != stype {
+			continue
+		}
+		if now.After(svc.Expires) {
+			delete(c.entries, k)
+			continue
+		}
+		return svc, true
+	}
+	return Service{}, false
+}
+
+func (c *cache) get(stype, key string, now time.Time) (Service, bool) {
+	k := cacheKey{stype, key}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	svc, ok := c.entries[k]
+	if !ok {
+		return Service{}, false
+	}
+	if now.After(svc.Expires) {
+		delete(c.entries, k)
+		return Service{}, false
+	}
+	return svc, true
+}
+
+// wait registers a waiter channel for the key; the caller selects on it.
+// cancel must be called if the waiter gives up.
+func (c *cache) wait(stype, key string) (ch chan Service, cancel func()) {
+	k := cacheKey{stype, key}
+	ch = make(chan Service, 1)
+	c.mu.Lock()
+	c.waiters[k] = append(c.waiters[k], ch)
+	c.mu.Unlock()
+	return ch, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		ws := c.waiters[k]
+		for i, w := range ws {
+			if w == ch {
+				c.waiters[k] = append(ws[:i], ws[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+func (c *cache) remove(stype, key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.entries, cacheKey{stype, key})
+}
+
+// snapshot returns live entries, optionally filtered by type, sorted by
+// (type, key).
+func (c *cache) snapshot(stype string, now time.Time) []Service {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Service, 0, len(c.entries))
+	for k, svc := range c.entries {
+		if now.After(svc.Expires) {
+			delete(c.entries, k)
+			continue
+		}
+		if stype != "" && svc.Type != stype {
+			continue
+		}
+		out = append(out, svc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Type != out[j].Type {
+			return out[i].Type < out[j].Type
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}

@@ -1,0 +1,40 @@
+package slp
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParsePayload: any input must either error or yield a payload whose
+// Marshal output reparses to the same value.
+func FuzzParsePayload(f *testing.F) {
+	f.Add((&Payload{
+		Adverts: []Advert{{Type: "sip", Key: "a@h", URL: "service:sip://n:5060",
+			Origin: "n", Seq: 1, TTLSec: 30}},
+		Queries: []Query{{Type: "sip", Key: "b@h", Origin: "m", ID: 2, Hops: 8}},
+	}).Marshal())
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParsePayload(data)
+		if err != nil {
+			return
+		}
+		p2, err := ParsePayload(p.Marshal())
+		if err != nil {
+			t.Fatalf("marshal output unparseable: %v", err)
+		}
+		normalize := func(pp *Payload) {
+			for i := range pp.Adverts {
+				if len(pp.Adverts[i].Attrs) == 0 {
+					pp.Adverts[i].Attrs = nil
+				}
+			}
+		}
+		normalize(p)
+		normalize(p2)
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("round trip drift:\n%+v\n%+v", p, p2)
+		}
+	})
+}

@@ -1,0 +1,175 @@
+package slp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"siphoc/internal/netem"
+	"siphoc/internal/wire"
+)
+
+// Port is the well-known SLP port the agents bind (RFC 2608).
+const Port uint16 = 427
+
+// Service is one service registration, e.g. a SIP binding
+// (Type "sip", Key "alice@voicehoc.ch", URL "service:sip://10.0.0.1:5060")
+// or a gateway announcement (Type "gateway").
+type Service struct {
+	Type    string            // service type, e.g. "sip", "gateway"
+	Key     string            // lookup key within the type, e.g. the AOR
+	URL     string            // service URL, "service:<type>://host:port"
+	Attrs   map[string]string // free-form attributes
+	Origin  netem.NodeID      // node that registered the service
+	Seq     uint32            // per-origin freshness counter
+	Expires time.Time         // local expiry (computed from the TTL)
+}
+
+// ServiceURL builds the canonical service URL string.
+func ServiceURL(stype string, addr string) string {
+	return "service:" + stype + "://" + addr
+}
+
+// ParseServiceURL splits "service:<type>://<addr>".
+func ParseServiceURL(url string) (stype, addr string, err error) {
+	rest, ok := strings.CutPrefix(url, "service:")
+	if !ok {
+		return "", "", fmt.Errorf("slp: url %q: missing service: prefix", url)
+	}
+	stype, addr, ok = strings.Cut(rest, "://")
+	if !ok {
+		return "", "", fmt.Errorf("slp: url %q: missing ://", url)
+	}
+	return stype, addr, nil
+}
+
+// Item kinds inside the piggyback extension / service datagrams.
+const (
+	itemAdvert uint8 = 1
+	itemQuery  uint8 = 2
+)
+
+// Advert is the wire form of a disseminated service registration.
+type Advert struct {
+	Type   string
+	Key    string
+	URL    string
+	Attrs  map[string]string
+	Origin netem.NodeID
+	Seq    uint32
+	TTLSec uint16
+}
+
+// Query asks the network for services of a type/key.
+type Query struct {
+	Type   string
+	Key    string // empty matches every service of the type
+	Origin netem.NodeID
+	ID     uint32
+	Hops   uint8 // remaining epidemic relay budget
+}
+
+// Payload is the content of one SLP extension or datagram: a batch of
+// adverts and queries.
+type Payload struct {
+	Adverts []Advert
+	Queries []Query
+}
+
+// Marshal encodes the payload.
+func (p *Payload) Marshal() []byte {
+	w := wire.NewWriter(64)
+	w.U16(uint16(len(p.Adverts)))
+	for i := range p.Adverts {
+		marshalAdvert(w, &p.Adverts[i])
+	}
+	w.U16(uint16(len(p.Queries)))
+	for i := range p.Queries {
+		marshalQuery(w, &p.Queries[i])
+	}
+	return w.Bytes()
+}
+
+func marshalAdvert(w *wire.Writer, a *Advert) {
+	w.U8(itemAdvert)
+	w.String(a.Type)
+	w.String(a.Key)
+	w.String(a.URL)
+	w.U16(uint16(len(a.Attrs)))
+	for k, v := range a.Attrs {
+		w.String(k)
+		w.String(v)
+	}
+	w.String(string(a.Origin))
+	w.U32(a.Seq)
+	w.U16(a.TTLSec)
+}
+
+func marshalQuery(w *wire.Writer, q *Query) {
+	w.U8(itemQuery)
+	w.String(q.Type)
+	w.String(q.Key)
+	w.String(string(q.Origin))
+	w.U32(q.ID)
+	w.U8(q.Hops)
+}
+
+// sizeOfAdvert returns the encoded size, used for budget packing.
+func sizeOfAdvert(a *Advert) int {
+	n := 1 + 2 + len(a.Type) + 2 + len(a.Key) + 2 + len(a.URL) + 2
+	for k, v := range a.Attrs {
+		n += 4 + len(k) + len(v)
+	}
+	n += 2 + len(a.Origin) + 4 + 2
+	return n
+}
+
+func sizeOfQuery(q *Query) int {
+	return 1 + 2 + len(q.Type) + 2 + len(q.Key) + 2 + len(q.Origin) + 4 + 1
+}
+
+// ParsePayload decodes a payload.
+func ParsePayload(b []byte) (*Payload, error) {
+	r := wire.NewReader(b)
+	p := &Payload{}
+	na := int(r.U16())
+	for range na {
+		if kind := r.U8(); kind != itemAdvert {
+			return nil, fmt.Errorf("slp: expected advert item, got %d", kind)
+		}
+		a := Advert{Type: r.String(), Key: r.String(), URL: r.String()}
+		nattrs := int(r.U16())
+		if nattrs > 0 {
+			a.Attrs = make(map[string]string, nattrs)
+			for range nattrs {
+				k := r.String()
+				a.Attrs[k] = r.String()
+			}
+		}
+		a.Origin = netem.NodeID(r.String())
+		a.Seq = r.U32()
+		a.TTLSec = r.U16()
+		if r.Err() != nil {
+			break
+		}
+		p.Adverts = append(p.Adverts, a)
+	}
+	nq := int(r.U16())
+	for range nq {
+		if kind := r.U8(); kind != itemQuery {
+			return nil, fmt.Errorf("slp: expected query item, got %d", kind)
+		}
+		q := Query{Type: r.String(), Key: r.String()}
+		q.Origin = netem.NodeID(r.String())
+		q.ID = r.U32()
+		q.Hops = r.U8()
+		if r.Err() != nil {
+			break
+		}
+		p.Queries = append(p.Queries, q)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("slp: parse payload: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,57 @@
+package slp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWildcardLookupCached(t *testing.T) {
+	_, agents, _ := buildChain(t, 1, ModePiggyback)
+	a := agents[0]
+	if _, ok := a.LookupCached("gateway", ""); ok {
+		t.Fatal("wildcard hit on empty cache")
+	}
+	if err := a.Register(Service{Type: "gateway", Key: "10.0.0.1", URL: "service:gateway://10.0.0.1:9000"}); err != nil {
+		t.Fatal(err)
+	}
+	svc, ok := a.LookupCached("gateway", "")
+	if !ok || svc.Key != "10.0.0.1" {
+		t.Fatalf("wildcard = %+v %v", svc, ok)
+	}
+	// Wildcard must not leak across types.
+	if _, ok := a.LookupCached("sip", ""); ok {
+		t.Fatal("wildcard crossed service types")
+	}
+}
+
+func TestWildcardQueryAnsweredRemotely(t *testing.T) {
+	hosts, agents, _ := buildChain(t, 3, ModePiggyback)
+	// The far node registers a gateway service under its own key.
+	if err := agents[2].Register(Service{
+		Type: "gateway", Key: string(hosts[2].ID()),
+		URL: ServiceURL("gateway", string(hosts[2].ID())+":9000"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A wildcard lookup from the first node resolves it.
+	svc, err := agents[0].Lookup("gateway", "", 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Origin != hosts[2].ID() {
+		t.Fatalf("origin = %v", svc.Origin)
+	}
+}
+
+func TestMultipleServicesSameTypeCoexist(t *testing.T) {
+	_, agents, _ := buildChain(t, 1, ModePiggyback)
+	a := agents[0]
+	for _, id := range []string{"gw1", "gw2", "gw3"} {
+		if err := a.Register(Service{Type: "gateway", Key: id, URL: "service:gateway://" + id + ":9000"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.Services("gateway"); len(got) != 3 {
+		t.Fatalf("services = %d, want 3", len(got))
+	}
+}

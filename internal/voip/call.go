@@ -1,0 +1,484 @@
+package voip
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"siphoc/internal/netem"
+	"siphoc/internal/rtp"
+	"siphoc/internal/sdp"
+	"siphoc/internal/sip"
+)
+
+// State is a call's lifecycle state.
+type State int
+
+// Call states.
+const (
+	StateSetup State = iota + 1
+	StateRinging
+	StateEstablished
+	StateEnded
+	StateFailed
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateSetup:
+		return "setup"
+	case StateRinging:
+		return "ringing"
+	case StateEstablished:
+		return "established"
+	case StateEnded:
+		return "ended"
+	case StateFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Call is one voice call, incoming or outgoing.
+type Call struct {
+	phone    *Phone
+	outgoing bool
+	callID   string
+
+	mu            sync.Mutex
+	state         State
+	failCode      int
+	localTag      string
+	remoteTag     string
+	remoteContact *sip.URI
+	remoteSDP     *sdp.Session
+	inviteTx      *sip.ServerTx // incoming calls: pending INVITE transaction
+	inviteReq     *sip.Message
+	inviteSent    *sip.Message // outgoing calls: the INVITE as transmitted
+	routeSet      []*sip.NameAddr
+	answered      bool // a 200 OK was already sent for the INVITE
+
+	media       *rtp.Session
+	mediaNode   netem.NodeID
+	mediaPort   uint16
+	setupAt     time.Time
+	establishAt time.Time
+
+	established chan struct{}
+	estOnce     sync.Once
+	ended       chan struct{}
+	endOnce     sync.Once
+}
+
+// newOutgoingCall allocates media and the dialog state for a call to uri.
+func (p *Phone) newOutgoingCall(uri *sip.URI) (*Call, error) {
+	mediaConn, err := p.host.Listen(0)
+	if err != nil {
+		return nil, err
+	}
+	c := &Call{
+		phone:         p,
+		outgoing:      true,
+		callID:        p.stack.NewCallID(),
+		state:         StateSetup,
+		localTag:      p.stack.NewTag(),
+		remoteContact: uri.Clone(),
+		media:         rtp.NewSession(mediaConn, p.clk, uint32(mediaConn.LocalPort())),
+		setupAt:       p.clk.Now(),
+		established:   make(chan struct{}),
+		ended:         make(chan struct{}),
+	}
+	p.addCall(c)
+	return c, nil
+}
+
+// newIncomingCall captures the dialog state from a ringing INVITE.
+func (p *Phone) newIncomingCall(tx *sip.ServerTx) (*Call, error) {
+	req := tx.Request()
+	mediaConn, err := p.host.Listen(0)
+	if err != nil {
+		return nil, err
+	}
+	c := &Call{
+		phone:       p,
+		callID:      req.CallID,
+		state:       StateSetup,
+		localTag:    p.stack.NewTag(),
+		remoteTag:   req.From.Tag(),
+		inviteTx:    tx,
+		inviteReq:   req,
+		media:       rtp.NewSession(mediaConn, p.clk, uint32(mediaConn.LocalPort())),
+		setupAt:     p.clk.Now(),
+		established: make(chan struct{}),
+		ended:       make(chan struct{}),
+	}
+	if len(req.Contact) > 0 {
+		c.remoteContact = req.Contact[0].URI.Clone()
+	}
+	// UAS route set: the Record-Route entries in request order
+	// (RFC 3261 §12.1.1).
+	for _, rr := range req.RecordRoute {
+		c.routeSet = append(c.routeSet, rr.Clone())
+	}
+	if len(req.Body) > 0 {
+		if offer, err := sdp.Parse(req.Body); err == nil {
+			c.remoteSDP = offer
+			if node, port, err := offer.AudioEndpoint(); err == nil {
+				c.mediaNode, c.mediaPort = netem.NodeID(node), port
+			}
+		}
+	}
+	return c, nil
+}
+
+// ID returns the Call-ID.
+func (c *Call) ID() string { return c.callID }
+
+// State returns the current call state.
+func (c *Call) State() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// FailCode returns the SIP status that failed the call (0 otherwise).
+func (c *Call) FailCode() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failCode
+}
+
+// SetupDuration returns how long call establishment took (valid once
+// established).
+func (c *Call) SetupDuration() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.establishAt.IsZero() {
+		return 0
+	}
+	return c.establishAt.Sub(c.setupAt)
+}
+
+func (c *Call) setState(s State) {
+	c.mu.Lock()
+	c.state = s
+	c.mu.Unlock()
+}
+
+// WaitEstablished blocks until the call connects, fails, or the timeout
+// elapses.
+func (c *Call) WaitEstablished(timeout time.Duration) error {
+	timer := c.phone.clk.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-c.established:
+		return nil
+	case <-c.ended:
+		return fmt.Errorf("voip: call failed with status %d", c.FailCode())
+	case <-timer.C():
+		return fmt.Errorf("voip: call establishment timed out")
+	}
+}
+
+// WaitEnded blocks until the call is torn down or the timeout elapses.
+func (c *Call) WaitEnded(timeout time.Duration) error {
+	timer := c.phone.clk.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-c.ended:
+		return nil
+	case <-timer.C():
+		return fmt.Errorf("voip: call teardown timed out")
+	}
+}
+
+// SendVoice streams n synthetic voice frames to the remote media endpoint,
+// blocking at the codec frame rate. It returns the number of frames sent.
+func (c *Call) SendVoice(n int) int {
+	c.mu.Lock()
+	node, port := c.mediaNode, c.mediaPort
+	media := c.media
+	c.mu.Unlock()
+	if node == "" || media == nil {
+		return 0
+	}
+	return media.SendStream(node, port, n)
+}
+
+// MediaStats returns the receive-side media quality snapshot.
+func (c *Call) MediaStats() rtp.Stats {
+	c.mu.Lock()
+	media := c.media
+	c.mu.Unlock()
+	if media == nil {
+		return rtp.Stats{}
+	}
+	return media.Stats()
+}
+
+// runOutgoing drives the UAC INVITE transaction.
+func (c *Call) runOutgoing() {
+	p := c.phone
+	offer := sdp.NewAudioOffer(p.cfg.User, string(p.host.ID()), c.media.Port())
+
+	req := sip.NewRequest(sip.MethodInvite, c.remoteContact.Clone())
+	req.From = p.identity()
+	req.From.Params = map[string]string{"tag": c.localTag}
+	req.To = &sip.NameAddr{URI: c.remoteContact.Clone()}
+	req.CallID = c.callID
+	req.CSeq = sip.CSeq{Seq: p.nextCSeq(), Method: sip.MethodInvite}
+	req.Contact = []*sip.NameAddr{p.contact()}
+	req.ContentType = sdp.ContentType
+	req.Body = offer.Marshal()
+	req.UserAgent = "siphoc-softphone/1.0"
+
+	tx, err := p.stack.SendRequest(req, p.cfg.OutboundProxy)
+	if err != nil {
+		c.endLocal(sip.StatusInternalError)
+		return
+	}
+	c.mu.Lock()
+	c.inviteSent = tx.Request()
+	c.mu.Unlock()
+	final, err := tx.AwaitWithProvisional(func(m *sip.Message) {
+		if m.StatusCode == sip.StatusRinging {
+			c.setState(StateRinging)
+		}
+	})
+	if err != nil {
+		c.endLocal(sip.StatusRequestTimeout)
+		return
+	}
+	if final.StatusCode != sip.StatusOK {
+		c.endLocal(final.StatusCode)
+		return
+	}
+	// Success: capture dialog and media state from the 200.
+	c.mu.Lock()
+	c.remoteTag = final.To.Tag()
+	if len(final.Contact) > 0 {
+		c.remoteContact = final.Contact[0].URI.Clone()
+	}
+	// UAC route set: Record-Route entries in reverse order (RFC 3261
+	// §12.1.2).
+	c.routeSet = nil
+	for i := len(final.RecordRoute) - 1; i >= 0; i-- {
+		c.routeSet = append(c.routeSet, final.RecordRoute[i].Clone())
+	}
+	if len(final.Body) > 0 {
+		if answer, err := sdp.Parse(final.Body); err == nil {
+			c.remoteSDP = answer
+			if node, port, err := answer.AudioEndpoint(); err == nil {
+				c.mediaNode, c.mediaPort = netem.NodeID(node), port
+			}
+		}
+	}
+	remote := c.remoteContact.Clone()
+	routes := cloneRoutes(c.routeSet)
+	c.mu.Unlock()
+
+	// ACK the 200 through the outbound proxy (RFC 3261 §13.2.2.4),
+	// carrying the dialog's route set.
+	ack := sip.NewRequest(sip.MethodAck, remote)
+	ack.Via = []*sip.Via{{
+		Transport: "UDP", Host: string(p.host.ID()), Port: p.cfg.Port,
+		Params: map[string]string{"branch": p.stack.NewBranch()},
+	}}
+	ack.From = req.From.Clone()
+	ack.To = final.To.Clone()
+	ack.CallID = c.callID
+	ack.CSeq = sip.CSeq{Seq: req.CSeq.Seq, Method: sip.MethodAck}
+	ack.Route = routes
+	_ = p.stack.Send(ack, p.cfg.OutboundProxy)
+
+	c.confirmEstablished()
+}
+
+// Answer accepts an incoming ringing call with an SDP answer.
+func (c *Call) Answer() error {
+	c.mu.Lock()
+	if c.answered || (c.state != StateRinging && c.state != StateSetup) {
+		state, answered := c.state, c.answered
+		c.mu.Unlock()
+		return fmt.Errorf("voip: answer in state %s (answered=%v)", state, answered)
+	}
+	c.answered = true
+	tx := c.inviteTx
+	req := c.inviteReq
+	offer := c.remoteSDP
+	c.mu.Unlock()
+	if tx == nil || req == nil {
+		return fmt.Errorf("voip: no pending INVITE")
+	}
+	p := c.phone
+	resp := sip.NewResponse(req, sip.StatusOK, "")
+	resp.To.SetTag(c.localTag)
+	resp.Contact = []*sip.NameAddr{p.contact()}
+	if offer != nil {
+		answer, err := sdp.Answer(offer, p.cfg.User, string(p.host.ID()), c.media.Port())
+		if err != nil {
+			_ = tx.RespondCode(488, "Not Acceptable Here")
+			c.endLocal(488)
+			return err
+		}
+		resp.ContentType = sdp.ContentType
+		resp.Body = answer.Marshal()
+	}
+	return tx.Respond(resp)
+}
+
+// Reject declines an incoming ringing call.
+func (c *Call) Reject(code int) error {
+	c.mu.Lock()
+	tx := c.inviteTx
+	c.mu.Unlock()
+	if tx == nil {
+		return fmt.Errorf("voip: no pending INVITE")
+	}
+	if code == 0 {
+		code = sip.StatusBusyHere
+	}
+	if err := tx.RespondCode(code, ""); err != nil {
+		return err
+	}
+	c.endLocal(code)
+	return nil
+}
+
+// cancelRemote handles a CANCEL from the caller: if the INVITE has not been
+// answered yet, conclude it with 487 Request Terminated.
+func (c *Call) cancelRemote() {
+	c.mu.Lock()
+	pending := !c.answered && (c.state == StateSetup || c.state == StateRinging)
+	c.mu.Unlock()
+	if pending {
+		c.rejectPending(sip.StatusRequestTerminated)
+	}
+}
+
+// rejectPending answers the pending INVITE with code (CANCEL handling).
+func (c *Call) rejectPending(code int) {
+	c.mu.Lock()
+	tx := c.inviteTx
+	c.mu.Unlock()
+	if tx != nil {
+		_ = tx.RespondCode(code, "")
+	}
+	c.endLocal(code)
+}
+
+// Cancel abandons an outgoing call that has not been answered yet
+// (RFC 3261 §9.1). The call ends with 487 Request Terminated once the
+// callee acknowledges the cancellation.
+func (c *Call) Cancel() error {
+	c.mu.Lock()
+	if !c.outgoing {
+		c.mu.Unlock()
+		return fmt.Errorf("voip: cancel on an incoming call (use Reject)")
+	}
+	if c.state != StateSetup && c.state != StateRinging {
+		st := c.state
+		c.mu.Unlock()
+		return fmt.Errorf("voip: cancel in state %s", st)
+	}
+	invite := c.inviteSent
+	c.mu.Unlock()
+	if invite == nil {
+		return fmt.Errorf("voip: INVITE not sent yet")
+	}
+	p := c.phone
+	tx, err := p.stack.SendRequestPreVia(sip.BuildCancel(invite), p.cfg.OutboundProxy)
+	if err != nil {
+		return err
+	}
+	// The 200 for the CANCEL is hop-by-hop; the call itself concludes via
+	// the 487 arriving on the INVITE transaction.
+	if _, err := tx.Await(); err != nil {
+		return fmt.Errorf("voip: cancel: %w", err)
+	}
+	return nil
+}
+
+// Hangup terminates an established call with BYE.
+func (c *Call) Hangup() error {
+	c.mu.Lock()
+	if c.state != StateEstablished {
+		st := c.state
+		c.mu.Unlock()
+		return fmt.Errorf("voip: hangup in state %s", st)
+	}
+	remote := c.remoteContact.Clone()
+	localTag, remoteTag := c.localTag, c.remoteTag
+	routes := cloneRoutes(c.routeSet)
+	c.mu.Unlock()
+
+	p := c.phone
+	bye := sip.NewRequest(sip.MethodBye, remote)
+	bye.Route = routes
+	bye.From = p.identity()
+	bye.From.Params = map[string]string{"tag": localTag}
+	bye.To = &sip.NameAddr{URI: remote.Clone()}
+	if remoteTag != "" {
+		bye.To.SetTag(remoteTag)
+	}
+	bye.CallID = c.callID
+	bye.CSeq = sip.CSeq{Seq: p.nextCSeq(), Method: sip.MethodBye}
+	tx, err := p.stack.SendRequest(bye, p.cfg.OutboundProxy)
+	if err != nil {
+		c.endLocal(0)
+		return err
+	}
+	if _, err := tx.Await(); err != nil {
+		c.endLocal(0)
+		return fmt.Errorf("voip: bye: %w", err)
+	}
+	c.endLocal(0)
+	return nil
+}
+
+func cloneRoutes(in []*sip.NameAddr) []*sip.NameAddr {
+	if in == nil {
+		return nil
+	}
+	out := make([]*sip.NameAddr, len(in))
+	for i, na := range in {
+		out[i] = na.Clone()
+	}
+	return out
+}
+
+// confirmEstablished transitions to Established exactly once.
+func (c *Call) confirmEstablished() {
+	c.estOnce.Do(func() {
+		c.mu.Lock()
+		c.state = StateEstablished
+		c.establishAt = c.phone.clk.Now()
+		c.mu.Unlock()
+		close(c.established)
+	})
+}
+
+// endLocal finishes the call from this side; code != 0 marks failure.
+func (c *Call) endLocal(code int) {
+	c.endOnce.Do(func() {
+		c.mu.Lock()
+		if code != 0 {
+			c.state = StateFailed
+			c.failCode = code
+		} else {
+			c.state = StateEnded
+		}
+		media := c.media
+		c.mu.Unlock()
+		if media != nil {
+			media.Close()
+		}
+		c.phone.removeCall(c.callID)
+		close(c.ended)
+	})
+}
+
+// endRemote finishes the call after a remote BYE.
+func (c *Call) endRemote() { c.endLocal(0) }

@@ -1,0 +1,88 @@
+package voip
+
+import (
+	"testing"
+	"time"
+
+	"siphoc/internal/sip"
+)
+
+// TestCancelOutgoingCall exercises hop-by-hop CANCEL through both proxies:
+// the caller abandons a ringing call, the callee stops ringing with 487.
+func TestCancelOutgoingCall(t *testing.T) {
+	f := newFixture(t, false) // manual answer: the call keeps ringing
+	alice, bob := f.phones["alice"], f.phones["bob"]
+	call, err := alice.Dial("bob@voicehoc.ch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inc *Call
+	select {
+	case inc = <-bob.Incoming():
+	case <-time.After(10 * time.Second):
+		t.Fatal("no incoming call")
+	}
+	// Wait for ringback before cancelling.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && call.State() != StateRinging {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := call.Cancel(); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	// The caller leg must conclude with 487.
+	if err := call.WaitEnded(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if call.State() != StateFailed || call.FailCode() != sip.StatusRequestTerminated {
+		t.Fatalf("caller state=%v code=%d, want failed/487", call.State(), call.FailCode())
+	}
+	// The callee leg must end too: answering now errors.
+	if err := inc.WaitEnded(15 * time.Second); err != nil {
+		t.Fatalf("callee leg never ended: %v", err)
+	}
+	if err := inc.Answer(); err == nil {
+		t.Fatal("answered a cancelled call")
+	}
+}
+
+func TestCancelStateGuards(t *testing.T) {
+	f := newFixture(t, true) // auto-answer: call establishes quickly
+	alice := f.phones["alice"]
+	call, err := alice.Dial("bob@voicehoc.ch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := call.WaitEstablished(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Cancelling an established call is a protocol error.
+	if err := call.Cancel(); err == nil {
+		t.Fatal("cancelled an established call")
+	}
+	_ = call.Hangup()
+}
+
+func TestCancelRacingAnswerIsHarmless(t *testing.T) {
+	f := newFixture(t, false)
+	alice, bob := f.phones["alice"], f.phones["bob"]
+	call, err := alice.Dial("bob@voicehoc.ch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := <-bob.Incoming()
+	// Answer and cancel as close together as the test can manage; either
+	// the call establishes or it ends with 487 — never hangs or panics.
+	if err := inc.Answer(); err != nil {
+		t.Fatal(err)
+	}
+	_ = call.Cancel() // may race the 200; both outcomes are legal
+	estErr := call.WaitEstablished(10 * time.Second)
+	if estErr != nil {
+		if call.FailCode() != sip.StatusRequestTerminated {
+			t.Fatalf("unexpected fail code %d", call.FailCode())
+		}
+		return
+	}
+	_ = call.Hangup()
+}

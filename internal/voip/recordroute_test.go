@@ -1,0 +1,91 @@
+package voip
+
+import (
+	"testing"
+	"time"
+)
+
+// TestInDialogRequestsTraverseBothProxies verifies Record-Route: the BYE of
+// an established call follows the dialog's route set through BOTH SIPHoc
+// proxies instead of shortcutting to the remote contact.
+func TestInDialogRequestsTraverseBothProxies(t *testing.T) {
+	f := newFixture(t, true)
+	alice := f.phones["alice"]
+	call, err := alice.Dial("bob@voicehoc.ch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := call.WaitEstablished(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The UAC learned a two-entry route set from the 200's Record-Route.
+	call.mu.Lock()
+	routes := len(call.routeSet)
+	call.mu.Unlock()
+	if routes != 2 {
+		t.Fatalf("route set size = %d, want 2 (both proxies)", routes)
+	}
+	calleeBefore := f.proxies[1].Stats()
+	callerBefore := f.proxies[0].Stats()
+	if err := call.Hangup(); err != nil {
+		t.Fatal(err)
+	}
+	calleeAfter := f.proxies[1].Stats()
+	callerAfter := f.proxies[0].Stats()
+	// Without Record-Route the caller's proxy would deliver the BYE
+	// straight to Bob's UA; with it, the callee-side proxy handles the
+	// BYE too (it consumes its own Route entry and delivers the final
+	// endpoint hop).
+	if calleeAfter.RequestsRouted <= calleeBefore.RequestsRouted {
+		t.Fatalf("callee proxy skipped by in-dialog BYE: before=%+v after=%+v",
+			calleeBefore, calleeAfter)
+	}
+	// The caller-side proxy followed the Route set rather than resolving.
+	if callerAfter.RouteFollowed <= callerBefore.RouteFollowed {
+		t.Fatalf("caller proxy did not follow the route set: before=%+v after=%+v",
+			callerBefore, callerAfter)
+	}
+}
+
+// TestUASRouteSetUsedForItsBye covers the reverse direction: the callee's
+// BYE also follows the recorded route.
+func TestUASRouteSetUsedForItsBye(t *testing.T) {
+	f := newFixture(t, true)
+	alice, bob := f.phones["alice"], f.phones["bob"]
+	call, err := alice.Dial("bob@voicehoc.ch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := call.WaitEstablished(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var bobCall *Call
+	select {
+	case bobCall = <-bob.Incoming():
+	case <-time.After(5 * time.Second):
+		t.Fatal("no callee leg")
+	}
+	if err := bobCall.WaitEstablished(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	callerBefore := f.proxies[0].Stats()
+	calleeBefore := f.proxies[1].Stats()
+	if err := bobCall.Hangup(); err != nil {
+		t.Fatal(err)
+	}
+	if err := call.WaitEnded(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	callerAfter := f.proxies[0].Stats()
+	calleeAfter := f.proxies[1].Stats()
+	// Bob's BYE goes out via his proxy (which follows the route set) and
+	// traverses Alice's proxy on the way to her UA.
+	if calleeAfter.RouteFollowed <= calleeBefore.RouteFollowed {
+		t.Fatalf("callee's proxy did not follow the route set: before=%+v after=%+v",
+			calleeBefore, calleeAfter)
+	}
+	if callerAfter.RequestsRouted <= callerBefore.RequestsRouted {
+		t.Fatalf("caller proxy skipped by callee's BYE: before=%+v after=%+v",
+			callerBefore, callerAfter)
+	}
+}

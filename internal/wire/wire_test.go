@@ -1,0 +1,85 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	w := NewWriter(64)
+	w.U8(7)
+	w.U16(65535)
+	w.U32(1 << 30)
+	w.U64(1 << 50)
+	w.String("alice@voicehoc.ch")
+	w.String("")
+	w.Raw([]byte{1, 2, 3})
+
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 7 {
+		t.Fatalf("U8 = %d", got)
+	}
+	if got := r.U16(); got != 65535 {
+		t.Fatalf("U16 = %d", got)
+	}
+	if got := r.U32(); got != 1<<30 {
+		t.Fatalf("U32 = %d", got)
+	}
+	if got := r.U64(); got != 1<<50 {
+		t.Fatalf("U64 = %d", got)
+	}
+	if got := r.String(); got != "alice@voicehoc.ch" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := r.String(); got != "" {
+		t.Fatalf("empty String = %q", got)
+	}
+	if got := r.Remaining(); len(got) != 3 || got[2] != 3 {
+		t.Fatalf("Remaining = %v", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	w := NewWriter(8)
+	w.String("hello")
+	b := w.Bytes()
+	r := NewReader(b[:3])
+	if got := r.String(); got != "" {
+		t.Fatalf("truncated String = %q", got)
+	}
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("Err = %v, want ErrTruncated", r.Err())
+	}
+	// Once failed, everything returns zero values.
+	if r.U32() != 0 || r.U8() != 0 {
+		t.Fatal("post-error reads returned nonzero")
+	}
+}
+
+func TestEmptyReader(t *testing.T) {
+	r := NewReader(nil)
+	if r.U16() != 0 || !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("empty reader: %v", r.Err())
+	}
+}
+
+func TestQuickStringRoundTrip(t *testing.T) {
+	f := func(a, b string, x uint32) bool {
+		if len(a) > 0xffff || len(b) > 0xffff {
+			return true
+		}
+		w := NewWriter(len(a) + len(b) + 8)
+		w.String(a)
+		w.U32(x)
+		w.String(b)
+		r := NewReader(w.Bytes())
+		return r.String() == a && r.U32() == x && r.String() == b && r.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

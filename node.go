@@ -1,0 +1,292 @@
+package siphoc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"siphoc/internal/clock"
+	"siphoc/internal/core"
+	"siphoc/internal/netem"
+	"siphoc/internal/routing"
+	"siphoc/internal/routing/aodv"
+	"siphoc/internal/routing/olsr"
+	"siphoc/internal/sip"
+	"siphoc/internal/slp"
+	"siphoc/internal/voip"
+)
+
+// NodeOption customizes one node.
+type NodeOption func(*nodeOptions)
+
+type nodeOptions struct {
+	gateway     bool
+	routing     RoutingKind
+	noConnPrvdr bool
+}
+
+// WithGateway makes the node a gateway: it is attached to the scenario's
+// Internet and runs a Gateway Provider publishing the gateway SLP service.
+func WithGateway() NodeOption { return func(o *nodeOptions) { o.gateway = true } }
+
+// WithRouting overrides the scenario's routing protocol for this node.
+// All nodes of a MANET must normally agree.
+func WithRouting(k RoutingKind) NodeOption { return func(o *nodeOptions) { o.routing = k } }
+
+// WithoutConnectionProvider disables the node's Connection Provider, e.g.
+// for baseline experiments on isolated MANETs.
+func WithoutConnectionProvider() NodeOption { return func(o *nodeOptions) { o.noConnPrvdr = true } }
+
+// Node is one MANET node running the full SIPHoc service set: the routing
+// protocol, the MANET SLP agent (loaded as the routing-handler plugin), the
+// Connection Provider, the per-node SIP proxy and, on gateways, the Gateway
+// Provider — the five-component architecture of the paper's Figure 1 (the
+// fifth component, the VoIP application, is created with NewPhone).
+type Node struct {
+	scenario *Scenario
+	host     *netem.Host
+	routing  routing.Protocol
+	agent    *slp.Agent
+	connp    *core.ConnectionProvider
+	gateway  *core.GatewayProvider
+	proxy    *core.Proxy
+
+	mu     sync.Mutex
+	phones []*voip.Phone
+	closed bool
+}
+
+func (s *Scenario) newNode(id NodeID, pos Position, opts ...NodeOption) (*Node, error) {
+	o := nodeOptions{routing: s.cfg.Routing}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.gateway && s.inet == nil {
+		return nil, fmt.Errorf("siphoc: gateway node %s needs a scenario with Internet", id)
+	}
+	host, err := s.net.AddHost(id, pos)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{scenario: s, host: host}
+	cleanup := func() {
+		n.Close()
+		s.net.RemoveHost(id)
+	}
+
+	// MANET SLP agent (the routing-handler plugin owner).
+	slpCfg := slp.Config{Mode: s.cfg.SLPMode, Clock: s.clk}
+	if s.cfg.SLP != nil {
+		slpCfg = *s.cfg.SLP
+		if slpCfg.Clock == nil {
+			slpCfg.Clock = s.clk
+		}
+	}
+	n.agent = slp.NewAgent(host, slpCfg)
+
+	// Routing protocol with the SLP plugin attached before start.
+	switch o.routing {
+	case RoutingAODV:
+		cfg := aodv.SimConfig()
+		cfg.Clock = s.clk
+		cfg = scaleAODV(cfg, s.cfg.TimeScale)
+		n.routing = aodv.New(host, cfg)
+	case RoutingOLSR:
+		cfg := olsr.SimConfig()
+		cfg.Clock = s.clk
+		cfg = scaleOLSR(cfg, s.cfg.TimeScale)
+		n.routing = olsr.New(host, cfg)
+	default:
+		cleanup()
+		return nil, fmt.Errorf("siphoc: unknown routing kind %v", o.routing)
+	}
+	n.agent.AttachRouting(n.routing)
+	if err := n.routing.Start(); err != nil {
+		cleanup()
+		return nil, err
+	}
+	if err := n.agent.Start(); err != nil {
+		cleanup()
+		return nil, err
+	}
+
+	// Gateway Provider on Internet-connected nodes.
+	if o.gateway {
+		n.gateway = core.NewGatewayProvider(host, s.inet, n.agent, core.GatewayConfig{Clock: s.clk})
+		if err := n.gateway.Start(); err != nil {
+			cleanup()
+			return nil, err
+		}
+	}
+
+	// Connection Provider everywhere else (a gateway is already attached).
+	if !o.noConnPrvdr && !o.gateway {
+		n.connp = core.NewConnectionProvider(host, n.agent, core.ConnProviderConfig{
+			Clock:         s.clk,
+			ProbeInterval: scaleDur(250*time.Millisecond, s.cfg.TimeScale),
+			LookupTimeout: scaleDur(200*time.Millisecond, s.cfg.TimeScale),
+			AckTimeout:    scaleDur(time.Second, s.cfg.TimeScale),
+		})
+		if err := n.connp.Start(); err != nil {
+			cleanup()
+			return nil, err
+		}
+	}
+
+	// The SIPHoc proxy.
+	sipCfg := sip.SimConfig()
+	sipCfg.Clock = s.clk
+	n.proxy = core.NewProxy(host, n.agent, n.connp, core.ProxyConfig{
+		SIP:        sipCfg,
+		Clock:      s.clk,
+		SLPTimeout: scaleDur(2*time.Second, s.cfg.TimeScale),
+	})
+	if err := n.proxy.Start(); err != nil {
+		cleanup()
+		return nil, err
+	}
+	return n, nil
+}
+
+func scaleDur(d time.Duration, f float64) time.Duration {
+	if f == 1 {
+		return d
+	}
+	return time.Duration(float64(d) * f)
+}
+
+func scaleAODV(c aodv.Config, f float64) aodv.Config {
+	c.HelloInterval = scaleDur(c.HelloInterval, f)
+	c.ActiveRouteTimeout = scaleDur(c.ActiveRouteTimeout, f)
+	c.DiscoveryTimeout = scaleDur(c.DiscoveryTimeout, f)
+	return c
+}
+
+func scaleOLSR(c olsr.Config, f float64) olsr.Config {
+	c.HelloInterval = scaleDur(c.HelloInterval, f)
+	c.TCInterval = scaleDur(c.TCInterval, f)
+	c.NeighborHold = scaleDur(c.NeighborHold, f)
+	c.TopologyHold = scaleDur(c.TopologyHold, f)
+	c.RouteWait = scaleDur(c.RouteWait, f)
+	return c
+}
+
+// ID returns the node's address.
+func (n *Node) ID() NodeID { return n.host.ID() }
+
+// Host exposes the node's network stack.
+func (n *Node) Host() *netem.Host { return n.host }
+
+// RoutingName returns the routing protocol in use ("AODV" or "OLSR").
+func (n *Node) RoutingName() string { return n.routing.Name() }
+
+// Routing exposes the node's routing protocol instance.
+func (n *Node) Routing() routing.Protocol { return n.routing }
+
+// SLP exposes the node's MANET SLP agent.
+func (n *Node) SLP() *slp.Agent { return n.agent }
+
+// Proxy exposes the node's SIPHoc proxy.
+func (n *Node) Proxy() *core.Proxy { return n.proxy }
+
+// Gateway exposes the node's Gateway Provider (nil for non-gateways).
+func (n *Node) Gateway() *core.GatewayProvider { return n.gateway }
+
+// ConnectionProvider exposes the node's Connection Provider (nil on
+// gateways and nodes created with WithoutConnectionProvider).
+func (n *Node) ConnectionProvider() *core.ConnectionProvider { return n.connp }
+
+// InternetAttached reports whether the node currently reaches the Internet
+// (as a gateway or through one).
+func (n *Node) InternetAttached() bool {
+	if n.gateway != nil {
+		return true
+	}
+	if n.connp != nil {
+		return n.connp.Attached()
+	}
+	return false
+}
+
+// NewPhone creates a softphone on this node configured exactly as the
+// paper's Figure 2: account user@domain with the outbound proxy pointed at
+// the local SIPHoc proxy.
+func (n *Node) NewPhone(user, domain string) (*Phone, error) {
+	return n.NewPhoneWith(PhoneConfig{User: user, Domain: domain})
+}
+
+// NewPhoneWith creates a softphone with explicit settings; OutboundProxy
+// defaults to the local proxy and the port is auto-assigned when several
+// phones share a node.
+func (n *Node) NewPhoneWith(cfg PhoneConfig) (*Phone, error) {
+	n.mu.Lock()
+	count := len(n.phones)
+	n.mu.Unlock()
+	if cfg.OutboundProxy == (sip.Addr{}) {
+		cfg.OutboundProxy = n.proxy.Addr()
+	}
+	if cfg.Port == 0 {
+		cfg.Port = 5062 + uint16(2*count)
+	}
+	if cfg.SIP.T1 == 0 {
+		cfg.SIP = sip.SimConfig()
+		cfg.SIP.Clock = n.scenario.clk
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = n.scenario.clk
+	}
+	ph := voip.New(n.host, cfg)
+	if err := ph.Start(); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	n.phones = append(n.phones, ph)
+	n.mu.Unlock()
+	return ph, nil
+}
+
+// newInternetPhone builds a phone for a host attached directly to the
+// Internet, using the provider's proxy as its outbound proxy (the normal
+// Internet SIP configuration, without SIPHoc in the path).
+func newInternetPhone(host *netem.Host, user, password, domain string, proxy sip.Addr, clk clock.Clock) *voip.Phone {
+	sipCfg := sip.SimConfig()
+	sipCfg.Clock = clk
+	return voip.New(host, voip.Config{
+		User: user, Password: password, Domain: domain,
+		OutboundProxy: proxy,
+		SIP:           sipCfg,
+		Clock:         clk,
+	})
+}
+
+// Close stops all services on the node.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	phones := n.phones
+	n.phones = nil
+	n.mu.Unlock()
+	for _, ph := range phones {
+		ph.Stop()
+	}
+	if n.proxy != nil {
+		n.proxy.Stop()
+	}
+	if n.connp != nil {
+		n.connp.Stop()
+	}
+	if n.gateway != nil {
+		n.gateway.Stop()
+	}
+	if n.agent != nil {
+		n.agent.Stop()
+	}
+	if n.routing != nil {
+		n.routing.Stop()
+	}
+	n.host.Close()
+}

@@ -1,0 +1,198 @@
+package siphoc_test
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMultiProcessDeployment is the deployment-mode proof at full fidelity:
+// it builds the real binaries and runs a three-node MANET as separate OS
+// processes on loopback UDP — a relay daemon plus two interactive
+// softphones — then drives a complete call over their stdin/stdout. This is
+// the in-repo equivalent of the paper's multi-laptop testbed.
+func TestMultiProcessDeployment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and spawns processes")
+	}
+	bin := t.TempDir()
+	for _, tool := range []string{"siphocd", "softphone"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(bin, tool), "./cmd/"+tool)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v: %s", tool, err, out)
+		}
+	}
+	ports := freeUDPPorts(t, 3)
+	addr := func(i int) string { return ports[i] }
+
+	// Relay daemon in the middle.
+	relay := exec.Command(filepath.Join(bin, "siphocd"),
+		"-id", "10.0.0.2", "-listen", addr(1), "-fast", "-status", "0",
+		"-peer", "10.0.0.1="+addr(0),
+		"-peer", "10.0.0.3="+addr(2),
+	)
+	relayOut := startProc(t, relay, nil)
+	waitForLine(t, relayOut, "node 10.0.0.2 up", 30*time.Second)
+
+	// Bob's softphone, auto-answering.
+	bobIn, bobOut := startPhone(t, bin, "bob", "10.0.0.3", addr(2), addr(1), true)
+	// Alice's softphone.
+	aliceIn, aliceOut := startPhone(t, bin, "alice", "10.0.0.1", addr(0), addr(1), false)
+
+	// Register both (retrying while routes form).
+	registerProc(t, bobIn, bobOut, "bob")
+	registerProc(t, aliceIn, aliceOut, "alice")
+
+	// Alice calls Bob across the relay.
+	fmt.Fprintln(aliceIn, "call bob@voicehoc.ch")
+	waitForLine(t, aliceOut, "call established", 30*time.Second)
+
+	// Tear down and quit cleanly.
+	fmt.Fprintln(aliceIn, "hangup")
+	waitForLine(t, aliceOut, "call ended", 15*time.Second)
+	fmt.Fprintln(aliceIn, "quit")
+	fmt.Fprintln(bobIn, "quit")
+}
+
+func startPhone(t *testing.T, bin, user, id, listen, peerAddr string, auto bool) (io.Writer, *procOutput) {
+	t.Helper()
+	args := []string{
+		"-id", id, "-listen", listen, "-user", user,
+		"-peer", "10.0.0.2=" + peerAddr,
+	}
+	if auto {
+		args = append(args, "-autoanswer")
+	}
+	cmd := exec.Command(filepath.Join(bin, "softphone"), args...)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := startProc(t, cmd, stdin)
+	waitForLine(t, out, "softphone: "+user+"@", 30*time.Second)
+	return stdin, out
+}
+
+func registerProc(t *testing.T, in io.Writer, out *procOutput, user string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		fmt.Fprintln(in, "register")
+		if out.waitFor("registered "+user+"@", 2*time.Second) {
+			return
+		}
+	}
+	t.Fatalf("%s never registered; output:\n%s", user, out.dump())
+}
+
+// procOutput tails a process's combined output.
+type procOutput struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (p *procOutput) append(line string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.lines = append(p.lines, line)
+}
+
+func (p *procOutput) contains(substr string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, l := range p.lines {
+		if strings.Contains(l, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *procOutput) waitFor(substr string, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if p.contains(substr) {
+			return true
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return false
+}
+
+func (p *procOutput) dump() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return strings.Join(p.lines, "\n")
+}
+
+// startProc launches cmd, tails its output, and arranges cleanup. stdin is
+// closed at cleanup when provided.
+func startProc(t *testing.T, cmd *exec.Cmd, stdin io.Closer) *procOutput {
+	t.Helper()
+	out := &procOutput{}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			out.append(sc.Text())
+		}
+	}()
+	t.Cleanup(func() {
+		if stdin != nil {
+			stdin.Close()
+		}
+		_ = cmd.Process.Signal(os.Interrupt)
+		done := make(chan struct{})
+		go func() {
+			_ = cmd.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			_ = cmd.Process.Kill()
+			<-done
+		}
+	})
+	return out
+}
+
+func waitForLine(t *testing.T, out *procOutput, substr string, timeout time.Duration) {
+	t.Helper()
+	if !out.waitFor(substr, timeout) {
+		t.Fatalf("never saw %q; output:\n%s", substr, out.dump())
+	}
+}
+
+func freeUDPPorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, 0, n)
+	conns := make([]net.PacketConn, 0, n)
+	for range n {
+		pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, pc)
+		addrs = append(addrs, pc.LocalAddr().String())
+	}
+	for _, pc := range conns {
+		pc.Close()
+	}
+	return addrs
+}

@@ -1,0 +1,306 @@
+package siphoc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"siphoc/internal/clock"
+	"siphoc/internal/internet"
+	"siphoc/internal/netem"
+	"siphoc/internal/slp"
+)
+
+// RoutingKind selects the MANET routing protocol for a scenario or node.
+type RoutingKind int
+
+// Supported routing protocols ("currently, our system supports two routing
+// protocols, AODV and OLSR" — paper §3.1).
+const (
+	RoutingAODV RoutingKind = iota + 1
+	RoutingOLSR
+)
+
+// String implements fmt.Stringer.
+func (k RoutingKind) String() string {
+	switch k {
+	case RoutingAODV:
+		return "AODV"
+	case RoutingOLSR:
+		return "OLSR"
+	default:
+		return fmt.Sprintf("routing(%d)", int(k))
+	}
+}
+
+// ScenarioConfig configures a whole deployment.
+type ScenarioConfig struct {
+	// Radio tunes the MANET medium; the zero value uses netem defaults
+	// (100 m range, ~0.5 ms per-hop delay).
+	Radio netem.Config
+	// Routing selects the routing protocol (default AODV).
+	Routing RoutingKind
+	// SLPMode selects MANET SLP dissemination (default piggyback).
+	SLPMode slp.Mode
+	// SLP overrides the full SLP agent configuration; when set, SLPMode
+	// is ignored.
+	SLP *slp.Config
+	// Internet, when true, creates a simulated Internet that gateway
+	// nodes can bridge to.
+	Internet bool
+	// InternetDelay is the Internet per-hop latency (default 5ms).
+	InternetDelay time.Duration
+	// TimeScale stretches protocol timers; 1.0 (default) uses the fast
+	// simulation timings throughout.
+	TimeScale float64
+	// Clock is the time source (default the system clock).
+	Clock clock.Clock
+}
+
+func (c ScenarioConfig) withDefaults() ScenarioConfig {
+	if c.Routing == 0 {
+		c.Routing = RoutingAODV
+	}
+	if c.SLPMode == 0 {
+		c.SLPMode = slp.ModePiggyback
+	}
+	if c.TimeScale == 0 {
+		c.TimeScale = 1
+	}
+	if c.Clock == nil {
+		c.Clock = clock.New()
+	}
+	return c
+}
+
+// Scenario is a complete deployment: a MANET, optionally a simulated
+// Internet with SIP providers, and the set of SIPHoc nodes.
+type Scenario struct {
+	cfg ScenarioConfig
+	clk clock.Clock
+
+	net  *netem.Network
+	inet *internet.Internet
+
+	mu         sync.Mutex
+	nodes      map[netem.NodeID]*Node
+	providers  []*internet.Provider
+	inetPhones []*Phone
+	closed     bool
+}
+
+// NewScenario builds an empty deployment.
+func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
+	cfg = cfg.withDefaults()
+	radio := cfg.Radio
+	if radio.Clock == nil {
+		radio.Clock = cfg.Clock
+	}
+	s := &Scenario{
+		cfg:   cfg,
+		clk:   cfg.Clock,
+		net:   netem.NewNetwork(radio),
+		nodes: make(map[netem.NodeID]*Node),
+	}
+	if cfg.Internet {
+		s.inet = internet.New(internet.Config{Delay: cfg.InternetDelay})
+	}
+	return s, nil
+}
+
+// Network exposes the MANET medium (stats, topology control, mobility).
+func (s *Scenario) Network() *netem.Network { return s.net }
+
+// Internet exposes the simulated Internet, or nil.
+func (s *Scenario) Internet() *internet.Internet { return s.inet }
+
+// Clock returns the scenario's time source.
+func (s *Scenario) Clock() clock.Clock { return s.clk }
+
+// AddNode creates a full SIPHoc node (routing protocol, MANET SLP,
+// Connection Provider, proxy — plus a Gateway Provider for gateway nodes)
+// at the given position and starts all its services.
+func (s *Scenario) AddNode(id NodeID, pos Position, opts ...NodeOption) (*Node, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("siphoc: scenario closed")
+	}
+	s.mu.Unlock()
+	n, err := s.newNode(id, pos, opts...)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.nodes[id] = n
+	s.mu.Unlock()
+	return n, nil
+}
+
+// Node returns the node with the given ID, or nil.
+func (s *Scenario) Node(id NodeID) *Node {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nodes[id]
+}
+
+// Nodes returns all nodes in creation order of their IDs.
+func (s *Scenario) Nodes() []*Node {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Node, 0, len(s.nodes))
+	for _, id := range s.net.Nodes() {
+		if n, ok := s.nodes[id]; ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Chain creates count nodes in a line with the given spacing, producing a
+// multihop path (the paper's firewalled-testbed topology). Node IDs are
+// "10.0.0.1" … "10.0.0.<count>".
+func (s *Scenario) Chain(count int, spacing float64, opts ...NodeOption) ([]*Node, error) {
+	nodes := make([]*Node, 0, count)
+	for i := range count {
+		n, err := s.AddNode(netem.NodeName("10.0.0", i+1), Position{X: float64(i) * spacing}, opts...)
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, n)
+	}
+	return nodes, nil
+}
+
+// Grid creates rows×cols nodes on a regular grid (the campus scenario).
+func (s *Scenario) Grid(rows, cols int, spacing float64, opts ...NodeOption) ([]*Node, error) {
+	nodes := make([]*Node, 0, rows*cols)
+	for r := range rows {
+		for c := range cols {
+			id := netem.NodeName("10.0.0", r*cols+c+1)
+			n, err := s.AddNode(id, Position{X: float64(c) * spacing, Y: float64(r) * spacing}, opts...)
+			if err != nil {
+				return nil, err
+			}
+			nodes = append(nodes, n)
+		}
+	}
+	return nodes, nil
+}
+
+// AddProvider creates an Internet SIP provider (requires Internet: true).
+func (s *Scenario) AddProvider(cfg ProviderConfig) (*Provider, error) {
+	if s.inet == nil {
+		return nil, fmt.Errorf("siphoc: scenario has no Internet")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = s.clk
+	}
+	p, err := internet.NewProvider(s.inet, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.providers = append(s.providers, p)
+	s.mu.Unlock()
+	return p, nil
+}
+
+// AddInternetPhone creates a softphone directly attached to the Internet
+// (e.g. the remote party of a MANET-to-Internet call): a host named hostID
+// is added to the Internet and the phone uses the provider responsible for
+// domain as its proxy.
+func (s *Scenario) AddInternetPhone(user, domain string, hostID NodeID) (*Phone, error) {
+	return s.AddInternetPhoneWithPassword(user, "", domain, hostID)
+}
+
+// AddInternetPhoneWithPassword is AddInternetPhone with digest credentials
+// for providers that require authentication.
+func (s *Scenario) AddInternetPhoneWithPassword(user, password, domain string, hostID NodeID) (*Phone, error) {
+	if s.inet == nil {
+		return nil, fmt.Errorf("siphoc: scenario has no Internet")
+	}
+	var prov *internet.Provider
+	s.mu.Lock()
+	for _, p := range s.providers {
+		if p.Domain() == domain {
+			prov = p
+			break
+		}
+	}
+	s.mu.Unlock()
+	if prov == nil {
+		return nil, fmt.Errorf("siphoc: no provider for domain %q", domain)
+	}
+	host, err := s.inet.AddHost(hostID)
+	if err != nil {
+		return nil, err
+	}
+	ph := newInternetPhone(host, user, password, domain, prov.ProxyAddr(), s.clk)
+	if err := ph.Start(); err != nil {
+		s.inet.RemoveHost(hostID)
+		return nil, err
+	}
+	s.mu.Lock()
+	s.inetPhones = append(s.inetPhones, ph)
+	s.mu.Unlock()
+	return ph, nil
+}
+
+// WaitAttached blocks until the node reports Internet connectivity or the
+// timeout elapses.
+func (s *Scenario) WaitAttached(n *Node, timeout time.Duration) error {
+	deadline := s.clk.Now().Add(timeout)
+	for {
+		if n.InternetAttached() {
+			return nil
+		}
+		if s.clk.Now().After(deadline) {
+			return fmt.Errorf("siphoc: node %s never attached to the Internet", n.ID())
+		}
+		s.clk.Sleep(10 * time.Millisecond)
+	}
+}
+
+// RemoveNode stops a node and removes it from the MANET (simulating a crash
+// or power-off).
+func (s *Scenario) RemoveNode(id NodeID) {
+	s.mu.Lock()
+	n := s.nodes[id]
+	delete(s.nodes, id)
+	s.mu.Unlock()
+	if n != nil {
+		n.Close()
+	}
+	s.net.RemoveHost(id)
+}
+
+// Close stops everything.
+func (s *Scenario) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	nodes := make([]*Node, 0, len(s.nodes))
+	for _, n := range s.nodes {
+		nodes = append(nodes, n)
+	}
+	providers := s.providers
+	inetPhones := s.inetPhones
+	s.mu.Unlock()
+	for _, ph := range inetPhones {
+		ph.Stop()
+	}
+	for _, n := range nodes {
+		n.Close()
+	}
+	for _, p := range providers {
+		p.Close()
+	}
+	if s.inet != nil {
+		s.inet.Close()
+	}
+	s.net.Close()
+}

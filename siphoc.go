@@ -1,0 +1,88 @@
+// Package siphoc is a library reproduction of "Wireless Ad Hoc VoIP"
+// (Stuedi & Alonso, MNCNA @ ACM/IFIP/USENIX Middleware 2007): a SIP
+// middleware that lets out-of-the-box VoIP applications place calls in
+// mobile ad hoc networks with no centralized SIP server, and transparently
+// reach the Internet as soon as any node in the MANET has connectivity.
+//
+// The package is the public facade over the implementation packages:
+//
+//   - internal/netem: packet-level MANET emulator (radio range, delay,
+//     loss, mobility) replacing the paper's laptop/iPAQ testbed
+//   - internal/routing/{aodv,olsr}: the two routing protocols the system
+//     supports, with the piggyback extension slot on control messages
+//   - internal/slp: MANET SLP — decentralized service location via routing
+//     message piggybacking
+//   - internal/sip, internal/sdp, internal/rtp: the SIP/SDP/RTP stacks
+//   - internal/core: the SIPHoc proxy, Gateway Provider and Connection
+//     Provider
+//   - internal/internet: the simulated fixed Internet with SIP providers
+//   - internal/voip: the softphone user agent
+//
+// The typical entry point is Scenario: create one, add nodes (each node
+// automatically runs the full SIPHoc service set), create phones on nodes,
+// and place calls:
+//
+//	sc, _ := siphoc.NewScenario(siphoc.ScenarioConfig{})
+//	defer sc.Close()
+//	nodes, _ := sc.Chain(3, 90)
+//	alice, _ := nodes[0].NewPhone("alice", "voicehoc.ch")
+//	bob, _ := nodes[2].NewPhone("bob", "voicehoc.ch")
+//	_ = alice.Register()
+//	_ = bob.Register()
+//	call, _ := alice.Dial("bob@voicehoc.ch")
+//	_ = call.WaitEstablished(10 * time.Second)
+package siphoc
+
+import (
+	"siphoc/internal/core"
+	"siphoc/internal/internet"
+	"siphoc/internal/netem"
+	"siphoc/internal/rtp"
+	"siphoc/internal/sip"
+	"siphoc/internal/slp"
+	"siphoc/internal/voip"
+)
+
+// Re-exported core types, so users of the facade never have to import the
+// internal packages (which the toolchain would reject anyway).
+type (
+	// NodeID identifies a node on the MANET or the Internet.
+	NodeID = netem.NodeID
+	// Position is a node's 2-D location in metres.
+	Position = netem.Position
+	// Phone is a softphone user agent bound to a node.
+	Phone = voip.Phone
+	// Call is one voice call.
+	Call = voip.Call
+	// PhoneConfig mirrors a softphone's account settings (paper Fig. 2).
+	PhoneConfig = voip.Config
+	// MediaStats is the receive-side call-quality snapshot.
+	MediaStats = rtp.Stats
+	// Provider is a centralized Internet SIP provider.
+	Provider = internet.Provider
+	// ProviderConfig describes one Internet SIP provider.
+	ProviderConfig = internet.ProviderConfig
+	// Service is one SLP service registration.
+	Service = slp.Service
+	// SIPAddr is a SIP transport address (node + port).
+	SIPAddr = sip.Addr
+	// NetworkStats counts traffic on the radio medium by frame class.
+	NetworkStats = netem.Stats
+	// ProxyStats counts SIPHoc proxy activity.
+	ProxyStats = core.ProxyStats
+)
+
+// Call and phone state constants re-exported for switch statements.
+const (
+	CallSetup       = voip.StateSetup
+	CallRinging     = voip.StateRinging
+	CallEstablished = voip.StateEstablished
+	CallEnded       = voip.StateEnded
+	CallFailed      = voip.StateFailed
+)
+
+// SLP dissemination modes (the E9 ablation).
+const (
+	SLPPiggyback = slp.ModePiggyback
+	SLPMulticast = slp.ModeMulticast
+)
