@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench fuzz experiments examples clean
+.PHONY: all build test race cover check bench bench-all fuzz experiments examples clean
 
 all: build test
 
@@ -19,7 +19,19 @@ race:
 cover:
 	$(GO) test -cover ./...
 
+# Pre-merge gate: static analysis plus the full test suite under the race
+# detector. Run before every merge (see README.md "Development").
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Hot-path benchmark snapshots, committed as JSON so regressions show up in
+# diffs. bench-all additionally runs the long E-series scenario benchmarks.
 bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/netem/ | $(GO) run ./cmd/benchjson > BENCH_netem.json
+	$(GO) test -run '^$$' -bench 'SIP' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_sip.json
+
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Brief fuzzing pass over every fuzz target (extend -fuzztime for real

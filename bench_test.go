@@ -77,6 +77,7 @@ func dialOnce(b *testing.B, alice *siphoc.Phone) {
 func BenchmarkE1CallSetupFlow(b *testing.B) {
 	_, alice := benchChain(b, 3, siphoc.RoutingAODV)
 	dialOnce(b, alice) // warm the route
+	b.ReportAllocs()
 	b.ResetTimer()
 	for b.Loop() {
 		dialOnce(b, alice)
@@ -91,6 +92,7 @@ func BenchmarkE8SetupDelayVsHops(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/hops=%d", routing, hops), func(b *testing.B) {
 				_, alice := benchChain(b, hops+1, routing)
 				dialOnce(b, alice)
+				b.ReportAllocs()
 				b.ResetTimer()
 				for b.Loop() {
 					dialOnce(b, alice)
@@ -129,6 +131,7 @@ func BenchmarkE9DiscoveryOverhead(b *testing.B) {
 				b.Cleanup(agents[i].Stop)
 			}
 			net.ResetStats()
+			b.ReportAllocs()
 			b.ResetTimer()
 			i := 0
 			for b.Loop() {
@@ -190,6 +193,7 @@ func BenchmarkE5InternetCall(b *testing.B) {
 	if err := alice.Register(); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for b.Loop() {
 		call, err := alice.Dial("carol@voicehoc.ch")
@@ -282,6 +286,7 @@ func BenchmarkRTPOverMANET(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Cleanup(func() { _ = call.Hangup() })
+	b.ReportAllocs()
 	b.ResetTimer()
 	for b.Loop() {
 		if n := call.SendVoice(1); n != 1 {

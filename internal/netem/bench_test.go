@@ -1,0 +1,77 @@
+package netem
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// BenchmarkMediumBroadcast64 is the broadcast-storm stress case: an 8x8 grid
+// (64 nodes, dense neighbourhoods) where every iteration broadcasts a routing
+// frame from a rotating sender. It exercises the medium's receiver-set
+// computation and delivery scheduling — the per-frame hot path under the
+// paper's scaling experiments.
+func BenchmarkMediumBroadcast64(b *testing.B) {
+	n := NewNetwork(Config{BaseDelay: 10 * time.Microsecond})
+	defer n.Close()
+	hosts, err := Grid(n, 8, 8, 70, "g")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var delivered atomic.Int64
+	for _, h := range hosts {
+		if err := h.HandleFrames(KindRouting, func(Frame) { delivered.Add(1) }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	payload := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	i := 0
+	for b.Loop() {
+		if err := hosts[i%len(hosts)].SendFrame(Broadcast, KindRouting, payload); err != nil {
+			b.Fatal(err)
+		}
+		i++
+	}
+	b.StopTimer()
+	st := n.Stats()
+	b.ReportMetric(float64(st.Deliveries)/float64(b.N), "rx/op")
+}
+
+// BenchmarkMediumUnicast measures the single-receiver fast path: one frame
+// per iteration between two in-range nodes, delivered through the scheduler.
+func BenchmarkMediumUnicast(b *testing.B) {
+	n := NewNetwork(Config{BaseDelay: 10 * time.Microsecond})
+	defer n.Close()
+	ha, err := n.AddHost("a", Position{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := n.AddHost("b", Position{X: 10}); err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 64)
+	b.ReportAllocs()
+	for b.Loop() {
+		if err := ha.SendFrame("b", KindRouting, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNeighbors measures the public neighbourhood query on the 64-node
+// grid (routing protocols call this on every hello interval).
+func BenchmarkNeighbors(b *testing.B) {
+	n := NewNetwork(Config{BaseDelay: 10 * time.Microsecond})
+	defer n.Close()
+	if _, err := Grid(n, 8, 8, 70, "g"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for b.Loop() {
+		if got := n.Neighbors("g.28"); len(got) == 0 {
+			b.Fatal("no neighbours")
+		}
+	}
+}

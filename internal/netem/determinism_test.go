@@ -1,0 +1,161 @@
+package netem
+
+import (
+	"testing"
+	"time"
+)
+
+// runSeededStorm drives a fixed traffic pattern over a 16-node grid with
+// loss and jitter enabled and returns the medium stats. All sends happen
+// from one goroutine, so the RNG draw order is fully determined by the
+// traffic sequence and the seed.
+func runSeededStorm(t *testing.T, seed int64) Stats {
+	t.Helper()
+	n := NewNetwork(Config{
+		BaseDelay:   20 * time.Microsecond,
+		DelayJitter: 2 * time.Millisecond,
+		LossRate:    0.25,
+		Seed:        seed,
+	})
+	defer n.Close()
+	hosts, err := Grid(n, 4, 4, 80, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 48)
+	for round := range 25 {
+		for i, h := range hosts {
+			if err := h.SendFrame(Broadcast, KindRouting, payload); err != nil {
+				t.Fatal(err)
+			}
+			// A unicast to the next grid node (in range for same-row
+			// neighbours; out-of-range pairs draw no loss, also part of
+			// the contract).
+			dst := hosts[(i+1)%len(hosts)].ID()
+			if err := h.SendFrame(dst, KindData, payload[:16]); err != nil {
+				t.Fatal(err)
+			}
+			_ = round
+		}
+	}
+	return n.Stats()
+}
+
+// TestSeededLossJitterDeterminism pins the RNG-determinism contract the
+// delivery-scheduler rewrite must preserve: the same Config.Seed and the
+// same (single-goroutine) traffic sequence yield bit-identical Stats —
+// same per-receiver loss draws, same jitter draws, same delivery counts.
+func TestSeededLossJitterDeterminism(t *testing.T) {
+	a := runSeededStorm(t, 42)
+	b := runSeededStorm(t, 42)
+	if a != b {
+		t.Fatalf("same seed diverged:\n a=%+v\n b=%+v", a, b)
+	}
+	if a.Lost == 0 {
+		t.Fatal("loss model drew no losses; test exercises nothing")
+	}
+	if a.Deliveries == 0 {
+		t.Fatal("no deliveries recorded")
+	}
+	c := runSeededStorm(t, 43)
+	if a.Lost == c.Lost {
+		t.Logf("note: seeds 42 and 43 drew equal loss counts (%d); sequence check below still holds", a.Lost)
+	}
+	if c.TotalFrames() != a.TotalFrames() {
+		t.Fatalf("frame counts must not depend on seed: %d vs %d", a.TotalFrames(), c.TotalFrames())
+	}
+}
+
+// TestBroadcastUsesAdjacencyCache checks the cache is invalidated by
+// topology changes: a broadcast after SetPosition must reach the new
+// neighbourhood, not the cached one.
+func TestBroadcastUsesAdjacencyCache(t *testing.T) {
+	n := NewNetwork(Config{BaseDelay: 20 * time.Microsecond})
+	defer n.Close()
+	ha, err := n.AddHost("a", Position{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := n.AddHost("b", Position{X: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan Frame, 16)
+	if err := hb.HandleFrames(KindRouting, func(f Frame) { got <- f }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ha.SendFrame(Broadcast, KindRouting, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-range broadcast not delivered")
+	}
+	// Move b out of range: the cached neighbourhood must be discarded.
+	n.SetPosition("b", Position{X: 5000})
+	if err := ha.SendFrame(Broadcast, KindRouting, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case f := <-got:
+		t.Fatalf("stale adjacency cache delivered %q out of range", f.Payload)
+	case <-time.After(20 * time.Millisecond):
+	}
+	// And back in range again.
+	n.SetPosition("b", Position{X: 60})
+	if err := ha.SendFrame(Broadcast, KindRouting, []byte("three")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case f := <-got:
+		if string(f.Payload) != "three" {
+			t.Fatalf("unexpected frame %q", f.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("broadcast after cache re-validation not delivered")
+	}
+}
+
+// TestGridPathMatchesScan cross-checks the spatial-grid neighbourhood
+// computation (used above gridThreshold nodes) against the brute-force
+// distance scan, including link overrides that defeat the grid's locality
+// assumption.
+func TestGridPathMatchesScan(t *testing.T) {
+	n := NewNetwork(Config{BaseDelay: 20 * time.Microsecond})
+	defer n.Close()
+	// 64 nodes > gridThreshold: the grid path is live.
+	hosts, err := Grid(n, 8, 8, 70, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.hosts) <= gridThreshold {
+		t.Fatalf("test needs >%d nodes to exercise the grid", gridThreshold)
+	}
+	// Force one distant link up and one close link down.
+	n.SetLink("g.1", "g.64", true)
+	n.SetLink("g.1", "g.2", false)
+	scan := func(id NodeID) map[NodeID]bool {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		out := make(map[NodeID]bool)
+		for other := range n.hosts {
+			if other != id && n.connectedLocked(id, other) {
+				out[other] = true
+			}
+		}
+		return out
+	}
+	for _, h := range hosts {
+		want := scan(h.ID())
+		got := n.Neighbors(h.ID())
+		if len(got) != len(want) {
+			t.Fatalf("%s: grid neighbours %v != scan %v", h.ID(), got, want)
+		}
+		for _, nb := range got {
+			if !want[nb] {
+				t.Fatalf("%s: grid produced %s, not in scan set", h.ID(), nb)
+			}
+		}
+	}
+}

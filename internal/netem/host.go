@@ -3,6 +3,7 @@ package netem
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // RouteProvider is what a routing protocol exposes to the forwarding engine.
@@ -26,6 +27,28 @@ type HostStats struct {
 	PortDrops  int64 // datagrams dropped at a full application queue
 }
 
+// hostCounters is the live, atomically updated form of HostStats, so the
+// forwarding fast path never takes the host lock just to count.
+type hostCounters struct {
+	sent       atomic.Int64
+	received   atomic.Int64
+	forwarded  atomic.Int64
+	noRoute    atomic.Int64
+	ttlExpired atomic.Int64
+	portDrops  atomic.Int64
+}
+
+func (c *hostCounters) snapshot() HostStats {
+	return HostStats{
+		Sent:       c.sent.Load(),
+		Received:   c.received.Load(),
+		Forwarded:  c.forwarded.Load(),
+		NoRoute:    c.noRoute.Load(),
+		TTLExpired: c.ttlExpired.Load(),
+		PortDrops:  c.portDrops.Load(),
+	}
+}
+
 // Host is one node's network stack: link interface, multihop forwarding and
 // UDP-like ports. Create hosts with Network.AddHost.
 type Host struct {
@@ -36,7 +59,7 @@ type Host struct {
 	stop  chan struct{}
 	done  chan struct{}
 
-	mu        sync.Mutex
+	mu        sync.RWMutex
 	handlers  map[FrameKind]func(Frame)
 	rp        RouteProvider
 	defaultFn func(*Datagram) bool
@@ -44,8 +67,9 @@ type Host struct {
 	ports     map[uint16]*Conn
 	pending   map[NodeID][]*Datagram
 	nextPort  uint16
-	stats     HostStats
 	closed    bool
+
+	stats hostCounters
 }
 
 // maxPending bounds the per-destination queue of datagrams awaiting route
@@ -78,11 +102,7 @@ func (h *Host) Network() *Network { return h.net }
 func (h *Host) Neighbors() []NodeID { return h.net.Neighbors(h.id) }
 
 // Stats returns a snapshot of the host's forwarding counters.
-func (h *Host) Stats() HostStats {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.stats
-}
+func (h *Host) Stats() HostStats { return h.stats.snapshot() }
 
 // SendFrame transmits a raw link frame (routing protocols use this).
 func (h *Host) SendFrame(dst NodeID, kind FrameKind, payload []byte) error {
@@ -161,9 +181,9 @@ func (h *Host) handleFrame(f Frame) {
 		h.routeDatagram(dg, false)
 		return
 	}
-	h.mu.Lock()
+	h.mu.RLock()
 	fn := h.handlers[f.Kind]
-	h.mu.Unlock()
+	h.mu.RUnlock()
 	if fn != nil {
 		fn(f)
 	}
@@ -179,13 +199,13 @@ func (h *Host) SendDatagram(dg *Datagram) error {
 	if dg.TTL == 0 {
 		dg.TTL = DefaultTTL
 	}
-	h.mu.Lock()
-	if h.closed {
-		h.mu.Unlock()
+	h.mu.RLock()
+	closed := h.closed
+	h.mu.RUnlock()
+	if closed {
 		return ErrClosed
 	}
-	h.stats.Sent++
-	h.mu.Unlock()
+	h.stats.sent.Add(1)
 	return h.routeDatagram(dg, true)
 }
 
@@ -198,17 +218,15 @@ func (h *Host) routeDatagram(dg *Datagram, origin bool) error {
 	}
 	if !origin {
 		if dg.TTL <= 1 {
-			h.mu.Lock()
-			h.stats.TTLExpired++
-			h.mu.Unlock()
+			h.stats.ttlExpired.Add(1)
 			return nil
 		}
 		dg.TTL--
 	}
-	h.mu.Lock()
+	h.mu.RLock()
 	rp := h.rp
 	defFn := h.defaultFn
-	h.mu.Unlock()
+	h.mu.RUnlock()
 
 	if rp != nil {
 		if next, ok := rp.NextHop(dg.DstNode); ok {
@@ -221,9 +239,7 @@ func (h *Host) routeDatagram(dg *Datagram, origin bool) error {
 		return nil
 	}
 	if rp == nil {
-		h.mu.Lock()
-		h.stats.NoRoute++
-		h.mu.Unlock()
+		h.stats.noRoute.Add(1)
 		return ErrNoRoute
 	}
 	// Queue and trigger route discovery (reactive protocols).
@@ -231,8 +247,8 @@ func (h *Host) routeDatagram(dg *Datagram, origin bool) error {
 	q := h.pending[dg.DstNode]
 	first := len(q) == 0
 	if len(q) >= maxPending {
-		h.stats.NoRoute++
 		h.mu.Unlock()
+		h.stats.noRoute.Add(1)
 		return ErrNoRoute
 	}
 	h.pending[dg.DstNode] = append(q, dg)
@@ -250,10 +266,10 @@ func (h *Host) flushPending(dst NodeID, found bool) {
 	delete(h.pending, dst)
 	rp := h.rp
 	defFn := h.defaultFn
-	if !found {
-		h.stats.NoRoute += int64(len(q))
-	}
 	h.mu.Unlock()
+	if !found {
+		h.stats.noRoute.Add(int64(len(q)))
+	}
 	if !found {
 		// Last chance: hand queued datagrams to the default handler so
 		// that Internet destinations still leave via the gateway.
@@ -273,9 +289,7 @@ func (h *Host) flushPending(dst NodeID, found bool) {
 
 func (h *Host) transmit(dg *Datagram, nextHop NodeID, forwarded bool) error {
 	if forwarded {
-		h.mu.Lock()
-		h.stats.Forwarded++
-		h.mu.Unlock()
+		h.stats.forwarded.Add(1)
 	}
 	payload, err := marshalDatagram(dg)
 	if err != nil {
@@ -291,26 +305,23 @@ func (h *Host) InjectDatagram(dg *Datagram) {
 }
 
 func (h *Host) deliverLocal(dg *Datagram) {
-	h.mu.Lock()
-	if sink := h.sink; sink != nil {
-		h.stats.Received++
-		h.mu.Unlock()
+	h.mu.RLock()
+	sink := h.sink
+	c := h.ports[dg.DstPort]
+	h.mu.RUnlock()
+	if sink != nil {
+		h.stats.received.Add(1)
 		sink(dg)
 		return
 	}
-	c := h.ports[dg.DstPort]
 	if c == nil {
-		h.mu.Unlock()
 		return
 	}
-	h.stats.Received++
-	h.mu.Unlock()
+	h.stats.received.Add(1)
 	select {
 	case c.in <- dg:
 	default:
-		h.mu.Lock()
-		h.stats.PortDrops++
-		h.mu.Unlock()
+		h.stats.portDrops.Add(1)
 	}
 }
 

@@ -109,6 +109,7 @@ const MTU = 2304
 func MarshalDatagram(d *Datagram) ([]byte, error) { return marshalDatagram(d) }
 
 // UnmarshalDatagram decodes the wire format produced by MarshalDatagram.
+// The returned datagram's Data aliases b; callers that reuse b must copy.
 func UnmarshalDatagram(b []byte) (*Datagram, error) { return unmarshalDatagram(b) }
 
 // marshalDatagram encodes d into wire format:
@@ -130,7 +131,10 @@ func marshalDatagram(d *Datagram) ([]byte, error) {
 	return buf, nil
 }
 
-// unmarshalDatagram decodes wire format produced by marshalDatagram.
+// unmarshalDatagram decodes wire format produced by marshalDatagram. Data
+// aliases the input rather than copying: frame payloads are freshly marshalled
+// per transmit and never mutated after delivery, so the forwarding path can
+// skip one allocation per hop.
 func unmarshalDatagram(b []byte) (*Datagram, error) {
 	d := &Datagram{}
 	if len(b) < 1 {
@@ -153,6 +157,8 @@ func unmarshalDatagram(b []byte) (*Datagram, error) {
 	d.SrcPort = binary.BigEndian.Uint16(b[0:2])
 	d.DstPort = binary.BigEndian.Uint16(b[2:4])
 	d.TTL = b[4]
-	d.Data = append([]byte(nil), b[5:]...)
+	if len(b) > 5 {
+		d.Data = b[5:]
+	}
 	return d, nil
 }

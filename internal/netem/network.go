@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"siphoc/internal/clock"
@@ -69,24 +70,53 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// neighborhood is one node's cached receiver set: the nodes in radio range,
+// sorted by ID, plus their host stacks in matching order. Entries are
+// immutable once published — topology changes replace them wholesale — so
+// the broadcast path and the delivery scheduler may share them without
+// copying.
+type neighborhood struct {
+	ids   []NodeID
+	hosts []*Host
+}
+
+// gridThreshold is the node count above which neighbourhood recomputation
+// switches from a full scan to the spatial grid.
+const gridThreshold = 48
+
+// gridCell indexes the spatial grid; cells are Range metres on a side, so a
+// node's neighbours always lie within the 3x3 block around its own cell.
+type gridCell struct{ x, y int32 }
+
 // Network is the shared simulated radio medium. All methods are safe for
 // concurrent use.
 type Network struct {
 	cfg Config
 
-	mu        sync.Mutex
-	rng       *rand.Rand
+	// mu guards topology: hosts, positions, link overrides, the adjacency
+	// cache and its spatial grid. The steady-state send path only ever
+	// takes the read side.
+	mu        sync.RWMutex
 	hosts     map[NodeID]*Host
 	positions map[NodeID]Position
 	// linkOverride forces a link up (true) or down (false) regardless of
 	// distance; used by partition/failure-injection tests.
 	linkOverride map[linkKey]bool
-	stats        Stats
-	tap          func(Frame)
-	udp          *udpUnderlay
+	adj          map[NodeID]*neighborhood
+	grid         map[gridCell][]NodeID
 	closed       bool
 
-	wg sync.WaitGroup
+	// rngMu serializes loss/jitter draws so a given Seed yields one
+	// deterministic sequence, independent of stats or topology locking.
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	lossBits atomic.Uint64 // math.Float64bits of the live loss rate
+
+	stats counters
+	tap   atomic.Pointer[func(Frame)]
+	udp   atomic.Pointer[udpUnderlay]
+	sched *scheduler
 }
 
 type linkKey struct{ a, b NodeID }
@@ -101,13 +131,17 @@ func orderedKey(a, b NodeID) linkKey {
 // NewNetwork creates an empty medium.
 func NewNetwork(cfg Config) *Network {
 	cfg = cfg.withDefaults()
-	return &Network{
+	n := &Network{
 		cfg:          cfg,
 		rng:          rand.New(rand.NewSource(cfg.Seed)),
 		hosts:        make(map[NodeID]*Host),
 		positions:    make(map[NodeID]Position),
 		linkOverride: make(map[linkKey]bool),
+		adj:          make(map[NodeID]*neighborhood),
+		sched:        newScheduler(cfg.Clock),
 	}
+	n.lossBits.Store(math.Float64bits(cfg.LossRate))
+	return n
 }
 
 // Clock returns the clock driving the medium.
@@ -129,13 +163,14 @@ func (n *Network) AddHost(id NodeID, pos Position) (*Host, error) {
 	h := newHost(n, id)
 	n.hosts[id] = h
 	n.positions[id] = pos
+	n.invalidateLocked()
 	return h, nil
 }
 
 // Host returns the stack for id, or nil.
 func (n *Network) Host(id NodeID) *Host {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return n.hosts[id]
 }
 
@@ -145,6 +180,7 @@ func (n *Network) RemoveHost(id NodeID) {
 	h := n.hosts[id]
 	delete(n.hosts, id)
 	delete(n.positions, id)
+	n.invalidateLocked()
 	n.mu.Unlock()
 	if h != nil {
 		h.Close()
@@ -157,13 +193,14 @@ func (n *Network) SetPosition(id NodeID, pos Position) {
 	defer n.mu.Unlock()
 	if _, ok := n.hosts[id]; ok {
 		n.positions[id] = pos
+		n.invalidateLocked()
 	}
 }
 
 // PositionOf returns the node's position.
 func (n *Network) PositionOf(id NodeID) (Position, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	p, ok := n.positions[id]
 	return p, ok
 }
@@ -174,6 +211,7 @@ func (n *Network) SetLink(a, b NodeID, up bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.linkOverride[orderedKey(a, b)] = up
+	n.invalidateLocked()
 }
 
 // ClearLink removes a SetLink override.
@@ -181,6 +219,7 @@ func (n *Network) ClearLink(a, b NodeID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	delete(n.linkOverride, orderedKey(a, b))
+	n.invalidateLocked()
 }
 
 // SetTap installs a packet-analyzer hook invoked synchronously for every
@@ -188,37 +227,132 @@ func (n *Network) ClearLink(a, b NodeID) {
 // reproduce the paper's Figure 5 capture. The tap must not call back into
 // the Network. Pass nil to remove.
 func (n *Network) SetTap(fn func(Frame)) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.tap = fn
+	if fn == nil {
+		n.tap.Store(nil)
+		return
+	}
+	n.tap.Store(&fn)
 }
 
 // SetLossRate changes the per-frame drop probability at runtime.
 func (n *Network) SetLossRate(p float64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.cfg.LossRate = p
+	n.lossBits.Store(math.Float64bits(p))
+}
+
+func (n *Network) lossRate() float64 {
+	return math.Float64frombits(n.lossBits.Load())
+}
+
+// invalidateLocked bumps the topology epoch: every cached neighbourhood and
+// the spatial grid are discarded and recomputed lazily on next use.
+func (n *Network) invalidateLocked() {
+	clear(n.adj)
+	n.grid = nil
 }
 
 // Neighbors returns the nodes currently in radio range of id, sorted.
 func (n *Network) Neighbors(id NodeID) []NodeID {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.neighborsLocked(id)
+	nb := n.neighborhoodOf(id)
+	if len(nb.ids) == 0 {
+		return nil
+	}
+	return append([]NodeID(nil), nb.ids...)
 }
 
-func (n *Network) neighborsLocked(id NodeID) []NodeID {
-	var out []NodeID
-	for other := range n.hosts {
-		if other == id {
-			continue
-		}
-		if n.connectedLocked(id, other) {
-			out = append(out, other)
+// neighborhoodOf returns the cached receiver set for id, computing it on a
+// topology-epoch miss.
+func (n *Network) neighborhoodOf(id NodeID) *neighborhood {
+	n.mu.RLock()
+	nb := n.adj[id]
+	n.mu.RUnlock()
+	if nb != nil {
+		return nb
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if nb = n.adj[id]; nb != nil {
+		return nb
+	}
+	nb = n.computeNeighborhoodLocked(id)
+	n.adj[id] = nb
+	return nb
+}
+
+func (n *Network) computeNeighborhoodLocked(id NodeID) *neighborhood {
+	nb := &neighborhood{}
+	if len(n.hosts) > gridThreshold {
+		n.gridNeighborsLocked(id, nb)
+	} else {
+		for other := range n.hosts {
+			if other != id && n.connectedLocked(id, other) {
+				nb.ids = append(nb.ids, other)
+			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	sort.Slice(nb.ids, func(i, j int) bool { return nb.ids[i] < nb.ids[j] })
+	nb.hosts = make([]*Host, len(nb.ids))
+	for i, other := range nb.ids {
+		nb.hosts[i] = n.hosts[other]
+	}
+	return nb
+}
+
+// gridNeighborsLocked collects id's neighbours via the spatial grid: only
+// the 3x3 cell block around id can hold in-range nodes, then link overrides
+// are applied (down-overrides inside the block are rejected by
+// connectedLocked; up-overrides may add nodes from anywhere).
+func (n *Network) gridNeighborsLocked(id NodeID, nb *neighborhood) {
+	if n.grid == nil {
+		n.grid = make(map[gridCell][]NodeID, len(n.positions))
+		for other, p := range n.positions {
+			c := n.cellOf(p)
+			n.grid[c] = append(n.grid[c], other)
+		}
+	}
+	pos, ok := n.positions[id]
+	if ok {
+		c := n.cellOf(pos)
+		for dx := int32(-1); dx <= 1; dx++ {
+			for dy := int32(-1); dy <= 1; dy++ {
+				for _, other := range n.grid[gridCell{c.x + dx, c.y + dy}] {
+					if other != id && n.connectedLocked(id, other) {
+						nb.ids = append(nb.ids, other)
+					}
+				}
+			}
+		}
+	}
+	for k, up := range n.linkOverride {
+		if !up {
+			continue
+		}
+		other := NodeID("")
+		switch id {
+		case k.a:
+			other = k.b
+		case k.b:
+			other = k.a
+		default:
+			continue
+		}
+		if _, exists := n.hosts[other]; !exists {
+			continue
+		}
+		dup := false
+		for _, have := range nb.ids {
+			if have == other {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			nb.ids = append(nb.ids, other)
+		}
+	}
+}
+
+func (n *Network) cellOf(p Position) gridCell {
+	return gridCell{int32(math.Floor(p.X / n.cfg.Range)), int32(math.Floor(p.Y / n.cfg.Range))}
 }
 
 func (n *Network) connectedLocked(a, b NodeID) bool {
@@ -232,8 +366,8 @@ func (n *Network) connectedLocked(a, b NodeID) bool {
 
 // Nodes returns all attached node IDs, sorted.
 func (n *Network) Nodes() []NodeID {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	out := make([]NodeID, 0, len(n.hosts))
 	for id := range n.hosts {
 		out = append(out, id)
@@ -243,90 +377,108 @@ func (n *Network) Nodes() []NodeID {
 }
 
 // send transmits a frame from the medium's point of view: computes the
-// receiver set, applies loss, and schedules delivery after the link delay.
+// receiver set (a cached map lookup in steady state), applies loss, and
+// hands the frame to the delivery scheduler with its deadline.
 func (n *Network) send(f Frame) error {
 	if len(f.Payload) > MTU {
 		return ErrFrameTooBig
 	}
-	n.mu.Lock()
+	var one *Host
+	var many []*Host
+	n.mu.RLock()
 	if n.closed {
-		n.mu.Unlock()
+		n.mu.RUnlock()
 		return ErrClosed
 	}
 	if _, ok := n.hosts[f.Src]; !ok {
-		n.mu.Unlock()
+		n.mu.RUnlock()
 		return ErrUnknownNode
 	}
-	var receivers []*Host
 	if f.Dst == Broadcast {
-		for _, nb := range n.neighborsLocked(f.Src) {
-			receivers = append(receivers, n.hosts[nb])
+		nb := n.adj[f.Src]
+		n.mu.RUnlock()
+		if nb == nil {
+			nb = n.neighborhoodOf(f.Src)
 		}
-	} else if h, ok := n.hosts[f.Dst]; ok && n.connectedLocked(f.Src, f.Dst) {
-		receivers = append(receivers, h)
+		many = nb.hosts
+	} else {
+		if h, ok := n.hosts[f.Dst]; ok && n.connectedLocked(f.Src, f.Dst) {
+			one = h
+		}
+		n.mu.RUnlock()
 	}
-	n.stats.record(f, len(receivers))
-	tap := n.tap
+	receivers := len(many)
+	if one != nil {
+		receivers = 1
+	}
+	n.stats.recordFrame(f, receivers)
+
 	delay := n.cfg.BaseDelay
 	if n.cfg.BytesPerSecond > 0 {
 		delay += time.Duration(float64(len(f.Payload)) / n.cfg.BytesPerSecond * float64(time.Second))
 	}
-	if n.cfg.DelayJitter > 0 {
-		delay += time.Duration(n.rng.Int63n(int64(n.cfg.DelayJitter)))
+	// Jitter and loss share one critical section so a given Seed produces
+	// one deterministic draw sequence: jitter first, then an independent
+	// loss draw per receiver in sorted-ID order.
+	lossRate := n.lossRate()
+	if n.cfg.DelayJitter > 0 || lossRate > 0 {
+		n.rngMu.Lock()
+		if n.cfg.DelayJitter > 0 {
+			delay += time.Duration(n.rng.Int63n(int64(n.cfg.DelayJitter)))
+		}
+		if lossRate > 0 {
+			if one != nil {
+				if n.rng.Float64() < lossRate {
+					one = nil
+					n.stats.lost.Add(1)
+				}
+			} else if len(many) > 0 {
+				kept := make([]*Host, 0, len(many))
+				for _, h := range many {
+					if n.rng.Float64() < lossRate {
+						n.stats.lost.Add(1)
+						continue
+					}
+					kept = append(kept, h)
+				}
+				many = kept
+			}
+		}
+		n.rngMu.Unlock()
 	}
 	if delay < 0 {
 		delay = 0 // UDP underlay: the real network provides latency
 	}
-	// Independent loss draw per receiver, under the lock for a
-	// deterministic RNG sequence.
-	kept := receivers[:0]
-	for _, h := range receivers {
-		if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
-			n.stats.recordLoss()
-			continue
-		}
-		kept = append(kept, h)
+	if one != nil || len(many) > 0 {
+		d := deliveryPool.Get().(*delivery)
+		d.due = n.cfg.Clock.Now().Add(delay)
+		d.frame = f
+		d.one = one
+		d.many = many
+		n.sched.schedule(d)
 	}
-	clk := n.cfg.Clock
-	if len(kept) > 0 && !n.closed {
-		n.wg.Add(1)
-		go func(receivers []*Host, f Frame) {
-			defer n.wg.Done()
-			if delay > 0 {
-				clk.Sleep(delay)
-			}
-			for _, h := range receivers {
-				h.enqueue(f)
-			}
-		}(append([]*Host(nil), kept...), f)
-	}
-	udp := n.udp
-	n.mu.Unlock()
-	if udp != nil {
+	if udp := n.udp.Load(); udp != nil {
 		udp.transmit(f)
 	}
-	if tap != nil {
-		tap(f)
+	if tap := n.tap.Load(); tap != nil {
+		(*tap)(f)
 	}
 	return nil
 }
 
 // Stats returns a snapshot of medium-level counters.
 func (n *Network) Stats() Stats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	return n.stats.snapshot()
 }
 
 // ResetStats zeroes the counters (used between experiment phases).
 func (n *Network) ResetStats() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.stats = Stats{}
+	n.stats.reset()
 }
 
-// Close shuts the medium and all hosts down and waits for in-flight
-// deliveries to finish.
+// Close shuts the medium and all hosts down. Frames still queued in the
+// delivery scheduler are dropped, as they would be delivered into
+// already-closed host stacks anyway.
 func (n *Network) Close() {
 	n.mu.Lock()
 	if n.closed {
@@ -338,15 +490,66 @@ func (n *Network) Close() {
 	for _, h := range n.hosts {
 		hosts = append(hosts, h)
 	}
-	udp := n.udp
 	n.mu.Unlock()
-	if udp != nil {
+	n.sched.close()
+	if udp := n.udp.Load(); udp != nil {
 		udp.close()
 	}
 	for _, h := range hosts {
 		h.Close()
 	}
-	n.wg.Wait()
+}
+
+// counters holds the medium's traffic counts as atomics so concurrent
+// senders never contend on a stats lock.
+type counters struct {
+	routingFrames atomic.Int64
+	routingBytes  atomic.Int64
+	dataFrames    atomic.Int64
+	dataBytes     atomic.Int64
+	serviceFrames atomic.Int64
+	serviceBytes  atomic.Int64
+	deliveries    atomic.Int64
+	lost          atomic.Int64
+}
+
+func (c *counters) recordFrame(f Frame, receivers int) {
+	switch f.Kind {
+	case KindRouting:
+		c.routingFrames.Add(1)
+		c.routingBytes.Add(int64(len(f.Payload)))
+	case KindService:
+		c.serviceFrames.Add(1)
+		c.serviceBytes.Add(int64(len(f.Payload)))
+	default:
+		c.dataFrames.Add(1)
+		c.dataBytes.Add(int64(len(f.Payload)))
+	}
+	c.deliveries.Add(int64(receivers))
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		RoutingFrames: c.routingFrames.Load(),
+		RoutingBytes:  c.routingBytes.Load(),
+		DataFrames:    c.dataFrames.Load(),
+		DataBytes:     c.dataBytes.Load(),
+		ServiceFrames: c.serviceFrames.Load(),
+		ServiceBytes:  c.serviceBytes.Load(),
+		Deliveries:    c.deliveries.Load(),
+		Lost:          c.lost.Load(),
+	}
+}
+
+func (c *counters) reset() {
+	c.routingFrames.Store(0)
+	c.routingBytes.Store(0)
+	c.dataFrames.Store(0)
+	c.dataBytes.Store(0)
+	c.serviceFrames.Store(0)
+	c.serviceBytes.Store(0)
+	c.deliveries.Store(0)
+	c.lost.Store(0)
 }
 
 // Stats counts traffic on the medium, split by frame kind — the measurement
@@ -364,23 +567,6 @@ type Stats struct {
 	// Lost counts copies dropped by the loss model.
 	Lost int64
 }
-
-func (s *Stats) record(f Frame, receivers int) {
-	switch f.Kind {
-	case KindRouting:
-		s.RoutingFrames++
-		s.RoutingBytes += int64(len(f.Payload))
-	case KindService:
-		s.ServiceFrames++
-		s.ServiceBytes += int64(len(f.Payload))
-	default:
-		s.DataFrames++
-		s.DataBytes += int64(len(f.Payload))
-	}
-	s.Deliveries += int64(receivers)
-}
-
-func (s *Stats) recordLoss() { s.Lost++ }
 
 // TotalFrames returns the count of all transmitted frames.
 func (s Stats) TotalFrames() int64 { return s.RoutingFrames + s.DataFrames + s.ServiceFrames }

@@ -67,18 +67,14 @@ func NewUDPNetwork(cfg UDPConfig) (*Network, *Host, error) {
 		}
 		u.peers[id] = ua
 	}
-	n.mu.Lock()
-	n.udp = u
-	n.mu.Unlock()
+	n.udp.Store(u)
 	go u.recvLoop(h)
 	return n, h, nil
 }
 
 // AddPeer makes a node reachable at runtime (topology change).
 func (n *Network) AddPeer(id NodeID, addr string) error {
-	n.mu.Lock()
-	u := n.udp
-	n.mu.Unlock()
+	u := n.udp.Load()
 	if u == nil {
 		return fmt.Errorf("netem: not a UDP network")
 	}
@@ -94,9 +90,7 @@ func (n *Network) AddPeer(id NodeID, addr string) error {
 
 // RemovePeer breaks the link to a node at runtime.
 func (n *Network) RemovePeer(id NodeID) {
-	n.mu.Lock()
-	u := n.udp
-	n.mu.Unlock()
+	u := n.udp.Load()
 	if u == nil {
 		return
 	}

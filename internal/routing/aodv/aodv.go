@@ -338,9 +338,9 @@ func (p *Protocol) sendControl(dst netem.NodeID, kind uint8, body []byte) {
 	p.mu.Lock()
 	pb := p.pb
 	p.mu.Unlock()
-	env := &routing.Envelope{Proto: routing.ProtoAODV, Kind: kind, Body: body}
+	var ext []byte
 	if pb != nil {
-		env.Ext = pb.Outgoing(routing.Outgoing{
+		ext = pb.Outgoing(routing.Outgoing{
 			Proto:  routing.ProtoAODV,
 			Kind:   kind,
 			Kind2:  KindName(kind),
@@ -348,7 +348,7 @@ func (p *Protocol) sendControl(dst netem.NodeID, kind uint8, body []byte) {
 			Budget: routing.ExtBudget(len(body)),
 		})
 	}
-	raw, err := env.Marshal()
+	raw, err := routing.AppendEnvelope(nil, routing.ProtoAODV, kind, body, ext)
 	if err != nil {
 		return
 	}

@@ -270,9 +270,9 @@ func (p *Protocol) sendControl(kind uint8, body []byte) {
 	p.mu.Lock()
 	pb := p.pb
 	p.mu.Unlock()
-	env := &routing.Envelope{Proto: routing.ProtoOLSR, Kind: kind, Body: body}
+	var ext []byte
 	if pb != nil {
-		env.Ext = pb.Outgoing(routing.Outgoing{
+		ext = pb.Outgoing(routing.Outgoing{
 			Proto:  routing.ProtoOLSR,
 			Kind:   kind,
 			Kind2:  KindName(kind),
@@ -280,7 +280,7 @@ func (p *Protocol) sendControl(kind uint8, body []byte) {
 			Budget: routing.ExtBudget(len(body)),
 		})
 	}
-	raw, err := env.Marshal()
+	raw, err := routing.AppendEnvelope(nil, routing.ProtoOLSR, kind, body, ext)
 	if err != nil {
 		return
 	}

@@ -99,19 +99,35 @@ type Envelope struct {
 
 // Marshal encodes the envelope.
 func (e *Envelope) Marshal() ([]byte, error) {
-	if len(e.Body) > 0xffff || len(e.Ext) > 0xffff {
-		return nil, fmt.Errorf("routing: envelope section too large")
+	buf, err := AppendEnvelope(nil, e.Proto, e.Kind, e.Body, e.Ext)
+	if err != nil {
+		return nil, err
 	}
-	buf := make([]byte, 0, 6+len(e.Body)+len(e.Ext))
-	buf = append(buf, e.Proto, e.Kind)
-	buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.Body)))
-	buf = append(buf, e.Body...)
-	buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.Ext)))
-	buf = append(buf, e.Ext...)
 	return buf, nil
 }
 
-// ParseEnvelope decodes a routing frame.
+// AppendEnvelope appends the wire form of an envelope to b, sparing send
+// paths the intermediate Envelope struct and its escape to the heap.
+func AppendEnvelope(b []byte, proto, kind uint8, body, ext []byte) ([]byte, error) {
+	if len(body) > 0xffff || len(ext) > 0xffff {
+		return nil, fmt.Errorf("routing: envelope section too large")
+	}
+	if b == nil {
+		b = make([]byte, 0, 6+len(body)+len(ext))
+	}
+	b = append(b, proto, kind)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(body)))
+	b = append(b, body...)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(ext)))
+	b = append(b, ext...)
+	return b, nil
+}
+
+// ParseEnvelope decodes a routing frame. Body and Ext alias the input
+// rather than copying: frame payloads are freshly marshalled per transmit
+// and never mutated after delivery, and every decoder downstream
+// (wire.Reader.String, slp.ParsePayload) copies what it keeps — so each
+// receiver of a broadcast control frame skips up to two allocations.
 func ParseEnvelope(b []byte) (*Envelope, error) {
 	if len(b) < 4 {
 		return nil, fmt.Errorf("routing: short envelope")
@@ -122,7 +138,7 @@ func ParseEnvelope(b []byte) (*Envelope, error) {
 	if len(b) < n+2 {
 		return nil, fmt.Errorf("routing: truncated body")
 	}
-	e.Body = append([]byte(nil), b[:n]...)
+	e.Body = b[:n]
 	b = b[n:]
 	m := int(binary.BigEndian.Uint16(b[0:2]))
 	b = b[2:]
@@ -130,7 +146,7 @@ func ParseEnvelope(b []byte) (*Envelope, error) {
 		return nil, fmt.Errorf("routing: truncated extension")
 	}
 	if m > 0 {
-		e.Ext = append([]byte(nil), b[:m]...)
+		e.Ext = b[:m]
 	}
 	return e, nil
 }

@@ -131,19 +131,22 @@ func (v *Via) SentBy() Addr {
 	return Addr{Node: netem.NodeID(v.Host), Port: port}
 }
 
+// appendTo appends "SIP/2.0/UDP host:port;params" to b.
+func (v *Via) appendTo(b []byte) []byte {
+	b = append(b, "SIP/2.0/"...)
+	b = append(b, v.Transport...)
+	b = append(b, ' ')
+	b = append(b, v.Host...)
+	if v.Port != 0 {
+		b = append(b, ':')
+		b = strconv.AppendUint(b, uint64(v.Port), 10)
+	}
+	return appendParams(b, v.Params)
+}
+
 // String renders "SIP/2.0/UDP host:port;params".
 func (v *Via) String() string {
-	var b strings.Builder
-	b.WriteString("SIP/2.0/")
-	b.WriteString(v.Transport)
-	b.WriteByte(' ')
-	b.WriteString(v.Host)
-	if v.Port != 0 {
-		b.WriteByte(':')
-		b.WriteString(strconv.Itoa(int(v.Port)))
-	}
-	b.WriteString(formatParams(v.Params))
-	return b.String()
+	return string(v.appendTo(nil))
 }
 
 func (v *Via) clone() *Via {
@@ -199,8 +202,15 @@ type CSeq struct {
 	Method string
 }
 
+// appendTo appends "1 INVITE" to b.
+func (c CSeq) appendTo(b []byte) []byte {
+	b = strconv.AppendUint(b, uint64(c.Seq), 10)
+	b = append(b, ' ')
+	return append(b, c.Method...)
+}
+
 // String renders "1 INVITE".
-func (c CSeq) String() string { return fmt.Sprintf("%d %s", c.Seq, c.Method) }
+func (c CSeq) String() string { return string(c.appendTo(nil)) }
 
 // Message is a SIP request or response.
 type Message struct {

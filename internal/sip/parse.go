@@ -6,56 +6,130 @@ import (
 	"strings"
 )
 
-// canonicalHeader maps compact forms and normalizes case.
-func canonicalHeader(name string) string {
-	switch strings.ToLower(strings.TrimSpace(name)) {
-	case "v", "via":
-		return "Via"
-	case "f", "from":
-		return "From"
-	case "t", "to":
-		return "To"
-	case "i", "call-id":
-		return "Call-ID"
-	case "m", "contact":
-		return "Contact"
-	case "c", "content-type":
-		return "Content-Type"
-	case "l", "content-length":
-		return "Content-Length"
-	case "cseq":
-		return "CSeq"
-	case "max-forwards":
-		return "Max-Forwards"
-	case "expires":
-		return "Expires"
-	case "route":
-		return "Route"
-	case "record-route":
-		return "Record-Route"
-	case "user-agent":
-		return "User-Agent"
-	case "www-authenticate":
-		return "WWW-Authenticate"
-	case "authorization":
-		return "Authorization"
-	case "proxy-authenticate":
-		return "Proxy-Authenticate"
-	case "proxy-authorization":
-		return "Proxy-Authorization"
-	default:
-		// Title-case each dash-separated token.
-		parts := strings.Split(strings.ToLower(strings.TrimSpace(name)), "-")
-		for i, p := range parts {
-			if p != "" {
-				parts[i] = strings.ToUpper(p[:1]) + p[1:]
-			}
+// canonicalKnown maps a header name (long or RFC 3261 compact form) to its
+// canonical spelling without allocating. The bool reports whether the name
+// was recognised; unknown names fall back to the allocating title-casing in
+// canonicalHeader.
+func canonicalKnown(name string) (string, bool) {
+	switch len(name) {
+	case 1:
+		switch name[0] | 0x20 {
+		case 'v':
+			return "Via", true
+		case 'f':
+			return "From", true
+		case 't':
+			return "To", true
+		case 'i':
+			return "Call-ID", true
+		case 'm':
+			return "Contact", true
+		case 'c':
+			return "Content-Type", true
+		case 'l':
+			return "Content-Length", true
 		}
-		return strings.Join(parts, "-")
+	case 2:
+		if strings.EqualFold(name, "To") {
+			return "To", true
+		}
+	case 3:
+		if strings.EqualFold(name, "Via") {
+			return "Via", true
+		}
+	case 4:
+		if strings.EqualFold(name, "From") {
+			return "From", true
+		}
+		if strings.EqualFold(name, "CSeq") {
+			return "CSeq", true
+		}
+	case 5:
+		if strings.EqualFold(name, "Route") {
+			return "Route", true
+		}
+	case 7:
+		if strings.EqualFold(name, "Call-ID") {
+			return "Call-ID", true
+		}
+		if strings.EqualFold(name, "Contact") {
+			return "Contact", true
+		}
+		if strings.EqualFold(name, "Expires") {
+			return "Expires", true
+		}
+	case 10:
+		if strings.EqualFold(name, "User-Agent") {
+			return "User-Agent", true
+		}
+	case 12:
+		if strings.EqualFold(name, "Max-Forwards") {
+			return "Max-Forwards", true
+		}
+		if strings.EqualFold(name, "Content-Type") {
+			return "Content-Type", true
+		}
+		if strings.EqualFold(name, "Record-Route") {
+			return "Record-Route", true
+		}
+	case 13:
+		if strings.EqualFold(name, "Authorization") {
+			return "Authorization", true
+		}
+	case 14:
+		if strings.EqualFold(name, "Content-Length") {
+			return "Content-Length", true
+		}
+	case 16:
+		if strings.EqualFold(name, "WWW-Authenticate") {
+			return "WWW-Authenticate", true
+		}
+	case 18:
+		if strings.EqualFold(name, "Proxy-Authenticate") {
+			return "Proxy-Authenticate", true
+		}
+	case 19:
+		if strings.EqualFold(name, "Proxy-Authorization") {
+			return "Proxy-Authorization", true
+		}
 	}
+	return "", false
 }
 
-// Parse decodes a SIP message from its textual wire form.
+// canonicalHeader maps compact forms and normalizes case, allocating only
+// for names outside the known set.
+func canonicalHeader(name string) string {
+	name = strings.TrimSpace(name)
+	if c, ok := canonicalKnown(name); ok {
+		return c
+	}
+	// Title-case each dash-separated token.
+	parts := strings.Split(strings.ToLower(name), "-")
+	for i, p := range parts {
+		if p != "" {
+			parts[i] = strings.ToUpper(p[:1]) + p[1:]
+		}
+	}
+	return strings.Join(parts, "-")
+}
+
+// nextLine splits s at the first newline, trimming the line's trailing CR.
+// more is false once s held no newline (last line).
+func nextLine(s string) (line, rest string, more bool) {
+	i := strings.IndexByte(s, '\n')
+	if i < 0 {
+		return strings.TrimSuffix(s, "\r"), "", false
+	}
+	line = s[:i]
+	if len(line) > 0 && line[len(line)-1] == '\r' {
+		line = line[:len(line)-1]
+	}
+	return line, s[i+1:], true
+}
+
+// Parse decodes a SIP message from its textual wire form. The input is
+// copied into one backing string; all string fields of the result are
+// slices of it.
 func Parse(data []byte) (*Message, error) {
 	text := string(data)
 	headEnd := strings.Index(text, "\r\n\r\n")
@@ -70,16 +144,15 @@ func Parse(data []byte) (*Message, error) {
 	} else {
 		head = text
 	}
-	lines := splitLines(head)
-	if len(lines) == 0 {
-		return nil, fmt.Errorf("sip: empty message")
-	}
 	m := &Message{MaxForwards: -1, Expires: -1}
-	if err := parseStartLine(m, lines[0]); err != nil {
+	start, rest, more := nextLine(head)
+	if err := parseStartLine(m, start); err != nil {
 		return nil, err
 	}
 	contentLength := -1
-	for _, line := range lines[1:] {
+	for more {
+		var line string
+		line, rest, more = nextLine(rest)
 		if line == "" {
 			continue
 		}
@@ -87,10 +160,14 @@ func Parse(data []byte) (*Message, error) {
 		if colon < 0 {
 			return nil, fmt.Errorf("sip: malformed header line %q", line)
 		}
-		if !isToken(strings.TrimSpace(line[:colon])) {
+		rawName := strings.TrimSpace(line[:colon])
+		if !isToken(rawName) {
 			return nil, fmt.Errorf("sip: malformed header name %q", line[:colon])
 		}
-		name := canonicalHeader(line[:colon])
+		name, known := canonicalKnown(rawName)
+		if !known {
+			name = canonicalHeader(rawName)
+		}
 		value := strings.TrimSpace(line[colon+1:])
 		if err := setHeader(m, name, value, &contentLength); err != nil {
 			return nil, err
@@ -111,15 +188,6 @@ func Parse(data []byte) (*Message, error) {
 	return m, nil
 }
 
-func splitLines(s string) []string {
-	raw := strings.Split(s, "\n")
-	out := make([]string, 0, len(raw))
-	for _, l := range raw {
-		out = append(out, strings.TrimRight(l, "\r"))
-	}
-	return out
-}
-
 func parseStartLine(m *Message, line string) error {
 	if strings.HasPrefix(line, "SIP/2.0 ") {
 		rest := line[len("SIP/2.0 "):]
@@ -136,15 +204,19 @@ func parseStartLine(m *Message, line string) error {
 		m.Reason = reason
 		return nil
 	}
-	parts := strings.SplitN(line, " ", 3)
-	if len(parts) != 3 || parts[2] != "SIP/2.0" {
+	sp1 := strings.IndexByte(line, ' ')
+	if sp1 < 0 {
 		return fmt.Errorf("sip: bad request line %q", line)
 	}
-	method := strings.ToUpper(parts[0])
-	if !isToken(method) {
-		return fmt.Errorf("sip: bad method %q", parts[0])
+	sp2 := strings.IndexByte(line[sp1+1:], ' ')
+	if sp2 < 0 || line[sp1+1+sp2+1:] != "SIP/2.0" {
+		return fmt.Errorf("sip: bad request line %q", line)
 	}
-	uri, err := ParseURI(parts[1])
+	method := strings.ToUpper(line[:sp1])
+	if !isToken(method) {
+		return fmt.Errorf("sip: bad method %q", line[:sp1])
+	}
+	uri, err := ParseURI(line[sp1+1 : sp1+1+sp2])
 	if err != nil {
 		return err
 	}
@@ -173,13 +245,14 @@ func isToken(s string) bool {
 func setHeader(m *Message, name, value string, contentLength *int) error {
 	switch name {
 	case "Via":
-		for _, part := range splitTopLevel(value) {
+		return forEachTopLevel(value, func(part string) error {
 			v, err := ParseVia(part)
 			if err != nil {
 				return err
 			}
 			m.Via = append(m.Via, v)
-		}
+			return nil
+		})
 	case "From":
 		na, err := ParseNameAddr(value)
 		if err != nil {
@@ -197,15 +270,16 @@ func setHeader(m *Message, name, value string, contentLength *int) error {
 			m.Contact = append(m.Contact, &NameAddr{Display: "*", URI: &URI{Scheme: "sip", Host: "*"}})
 			break
 		}
-		for _, part := range splitTopLevel(value) {
+		return forEachTopLevel(value, func(part string) error {
 			na, err := ParseNameAddr(part)
 			if err != nil {
 				return fmt.Errorf("sip: Contact: %v", err)
 			}
 			m.Contact = append(m.Contact, na)
-		}
+			return nil
+		})
 	case "Route", "Record-Route":
-		for _, part := range splitTopLevel(value) {
+		return forEachTopLevel(value, func(part string) error {
 			na, err := ParseNameAddr(part)
 			if err != nil {
 				return fmt.Errorf("sip: %s: %v", name, err)
@@ -215,7 +289,8 @@ func setHeader(m *Message, name, value string, contentLength *int) error {
 			} else {
 				m.RecordRoute = append(m.RecordRoute, na)
 			}
-		}
+			return nil
+		})
 	case "Call-ID":
 		m.CallID = value
 	case "CSeq":
@@ -259,10 +334,10 @@ func setHeader(m *Message, name, value string, contentLength *int) error {
 	return nil
 }
 
-// splitTopLevel splits a comma-separated header value, respecting quoted
-// strings and angle brackets (so "Bob" <sip:b@x>, <sip:c@y> splits cleanly).
-func splitTopLevel(s string) []string {
-	var out []string
+// forEachTopLevel visits the comma-separated elements of a header value,
+// respecting quoted strings and angle brackets (so "Bob" <sip:b@x>, <sip:c@y>
+// splits cleanly) without allocating an intermediate slice.
+func forEachTopLevel(s string, fn func(string) error) error {
 	depth, inQuote, start := 0, false, 0
 	for i := 0; i < len(s); i++ {
 		switch s[i] {
@@ -278,14 +353,28 @@ func splitTopLevel(s string) []string {
 			}
 		case ',':
 			if !inQuote && depth == 0 {
-				out = append(out, strings.TrimSpace(s[start:i]))
+				if part := strings.TrimSpace(s[start:i]); part != "" {
+					if err := fn(part); err != nil {
+						return err
+					}
+				}
 				start = i + 1
 			}
 		}
 	}
 	if tail := strings.TrimSpace(s[start:]); tail != "" {
-		out = append(out, tail)
+		return fn(tail)
 	}
+	return nil
+}
+
+// splitTopLevel is the slice-returning form of forEachTopLevel.
+func splitTopLevel(s string) []string {
+	var out []string
+	_ = forEachTopLevel(s, func(part string) error {
+		out = append(out, part)
+		return nil
+	})
 	return out
 }
 

@@ -3,65 +3,107 @@ package sip
 import (
 	"sort"
 	"strconv"
-	"strings"
+	"sync"
 )
+
+// marshalBufPool recycles scratch buffers for Marshal so steady-state
+// serialization costs one allocation: the exact-size result copy.
+var marshalBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
+// maxPooledBuf bounds the scratch buffers the pool retains, so one huge
+// message does not pin a huge buffer forever.
+const maxPooledBuf = 64 << 10
 
 // Marshal renders the message in SIP wire format with CRLF line endings and
 // an accurate Content-Length.
 func (m *Message) Marshal() []byte {
-	var b strings.Builder
-	b.Grow(512 + len(m.Body))
+	bp := marshalBufPool.Get().(*[]byte)
+	b := m.AppendTo((*bp)[:0])
+	out := make([]byte, len(b))
+	copy(out, b)
+	if cap(b) <= maxPooledBuf {
+		*bp = b
+		marshalBufPool.Put(bp)
+	}
+	return out
+}
+
+// AppendTo appends the wire form of the message to b and returns the
+// extended slice; callers that reuse buffers serialize with zero
+// allocations.
+func (m *Message) AppendTo(b []byte) []byte {
 	if m.IsRequest() {
-		b.WriteString(m.Method)
-		b.WriteByte(' ')
-		b.WriteString(m.RequestURI.String())
-		b.WriteString(" SIP/2.0\r\n")
+		b = append(b, m.Method...)
+		b = append(b, ' ')
+		b = m.RequestURI.appendTo(b)
+		b = append(b, " SIP/2.0\r\n"...)
 	} else {
-		b.WriteString("SIP/2.0 ")
-		b.WriteString(strconv.Itoa(m.StatusCode))
-		b.WriteByte(' ')
-		b.WriteString(m.Reason)
-		b.WriteString("\r\n")
+		b = append(b, "SIP/2.0 "...)
+		b = strconv.AppendInt(b, int64(m.StatusCode), 10)
+		b = append(b, ' ')
+		b = append(b, m.Reason...)
+		b = append(b, "\r\n"...)
 	}
 	for _, v := range m.Via {
-		writeHeader(&b, "Via", v.String())
+		b = append(b, "Via: "...)
+		b = v.appendTo(b)
+		b = append(b, "\r\n"...)
 	}
-	if len(m.Route) > 0 {
-		writeHeader(&b, "Route", joinNameAddrs(m.Route))
-	}
-	if len(m.RecordRoute) > 0 {
-		writeHeader(&b, "Record-Route", joinNameAddrs(m.RecordRoute))
-	}
+	b = appendNameAddrHeader(b, "Route", m.Route)
+	b = appendNameAddrHeader(b, "Record-Route", m.RecordRoute)
 	if m.From != nil {
-		writeHeader(&b, "From", m.From.String())
+		b = append(b, "From: "...)
+		b = m.From.appendTo(b)
+		b = append(b, "\r\n"...)
 	}
 	if m.To != nil {
-		writeHeader(&b, "To", m.To.String())
+		b = append(b, "To: "...)
+		b = m.To.appendTo(b)
+		b = append(b, "\r\n"...)
 	}
 	if m.CallID != "" {
-		writeHeader(&b, "Call-ID", m.CallID)
+		b = append(b, "Call-ID: "...)
+		b = append(b, m.CallID...)
+		b = append(b, "\r\n"...)
 	}
 	if m.CSeq.Method != "" {
-		writeHeader(&b, "CSeq", m.CSeq.String())
+		b = append(b, "CSeq: "...)
+		b = m.CSeq.appendTo(b)
+		b = append(b, "\r\n"...)
 	}
 	for _, c := range m.Contact {
+		b = append(b, "Contact: "...)
 		if c.Display == "*" {
-			writeHeader(&b, "Contact", "*")
+			b = append(b, '*')
 		} else {
-			writeHeader(&b, "Contact", c.String())
+			b = c.appendTo(b)
 		}
+		b = append(b, "\r\n"...)
 	}
 	if m.MaxForwards >= 0 {
-		writeHeader(&b, "Max-Forwards", strconv.Itoa(m.MaxForwards))
+		b = append(b, "Max-Forwards: "...)
+		b = strconv.AppendInt(b, int64(m.MaxForwards), 10)
+		b = append(b, "\r\n"...)
 	}
 	if m.Expires >= 0 {
-		writeHeader(&b, "Expires", strconv.Itoa(m.Expires))
+		b = append(b, "Expires: "...)
+		b = strconv.AppendInt(b, int64(m.Expires), 10)
+		b = append(b, "\r\n"...)
 	}
 	if m.UserAgent != "" {
-		writeHeader(&b, "User-Agent", m.UserAgent)
+		b = append(b, "User-Agent: "...)
+		b = append(b, m.UserAgent...)
+		b = append(b, "\r\n"...)
 	}
 	if m.ContentType != "" {
-		writeHeader(&b, "Content-Type", m.ContentType)
+		b = append(b, "Content-Type: "...)
+		b = append(b, m.ContentType...)
+		b = append(b, "\r\n"...)
 	}
 	// Unknown headers in deterministic order.
 	if len(m.Other) > 0 {
@@ -72,29 +114,33 @@ func (m *Message) Marshal() []byte {
 		sort.Strings(keys)
 		for _, k := range keys {
 			for _, v := range m.Other[k] {
-				writeHeader(&b, k, v)
+				b = append(b, k...)
+				b = append(b, ": "...)
+				b = append(b, v...)
+				b = append(b, "\r\n"...)
 			}
 		}
 	}
-	writeHeader(&b, "Content-Length", strconv.Itoa(len(m.Body)))
-	b.WriteString("\r\n")
-	b.Write(m.Body)
-	return []byte(b.String())
+	b = append(b, "Content-Length: "...)
+	b = strconv.AppendInt(b, int64(len(m.Body)), 10)
+	b = append(b, "\r\n\r\n"...)
+	b = append(b, m.Body...)
+	return b
 }
 
-func writeHeader(b *strings.Builder, name, value string) {
-	b.WriteString(name)
-	b.WriteString(": ")
-	b.WriteString(value)
-	b.WriteString("\r\n")
-}
-
-func joinNameAddrs(nas []*NameAddr) string {
-	parts := make([]string, len(nas))
-	for i, na := range nas {
-		parts[i] = na.String()
+func appendNameAddrHeader(b []byte, name string, nas []*NameAddr) []byte {
+	if len(nas) == 0 {
+		return b
 	}
-	return strings.Join(parts, ", ")
+	b = append(b, name...)
+	b = append(b, ": "...)
+	for i, na := range nas {
+		if i > 0 {
+			b = append(b, ", "...)
+		}
+		b = na.appendTo(b)
+	}
+	return append(b, "\r\n"...)
 }
 
 // String renders the start line plus key headers, for logs and experiment
