@@ -20,9 +20,12 @@ cover:
 	$(GO) test -cover ./...
 
 # Pre-merge gate: static analysis plus the full test suite under the race
-# detector. Run before every merge (see README.md "Development").
+# detector. Run before every merge (see README.md "Development"). The
+# observability trace/metrics tests run first as a fast-fail gate: they are
+# the ones most sensitive to stats races.
 check:
 	$(GO) vet ./...
+	$(GO) test -race -run 'TestCallTrace|TestMetrics|TestDialContext' .
 	$(GO) test -race ./...
 
 # Hot-path benchmark snapshots, committed as JSON so regressions show up in
@@ -30,6 +33,7 @@ check:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/netem/ | $(GO) run ./cmd/benchjson > BENCH_netem.json
 	$(GO) test -run '^$$' -bench 'SIP' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_sip.json
+	$(GO) test -run '^$$' -bench 'ObsOverhead' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_obs.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...

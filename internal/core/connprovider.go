@@ -5,10 +5,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"siphoc/internal/clock"
 	"siphoc/internal/netem"
+	"siphoc/internal/obs"
 	"siphoc/internal/slp"
 )
 
@@ -28,6 +30,8 @@ type ConnProviderConfig struct {
 	IsLocal func(netem.NodeID) bool
 	// Clock is the time source (default the system clock).
 	Clock clock.Clock
+	// Obs records attach spans and tunnel counters. Nil disables.
+	Obs *obs.Observer
 }
 
 func (c ConnProviderConfig) withDefaults() ConnProviderConfig {
@@ -53,6 +57,27 @@ func (c ConnProviderConfig) withDefaults() ConnProviderConfig {
 	return c
 }
 
+// ConnStats counts Connection Provider activity. All fields are safe to
+// snapshot while the provider runs.
+type ConnStats struct {
+	Attaches      int64 // successful tunnel attachments
+	Detaches      int64 // losses of connectivity (ping failure or stop)
+	AttachFails   int64 // OPEN attempts that timed out or were refused
+	FramesOut     int64 // datagrams tunnelled out to the gateway
+	FramesIn      int64 // datagrams received through the tunnel
+	LastAttachGW  string
+	LastAttachDur time.Duration // duration of the most recent attach
+}
+
+// connCounters is the live, atomically updated form of ConnStats.
+type connCounters struct {
+	attaches    atomic.Int64
+	detaches    atomic.Int64
+	attachFails atomic.Int64
+	framesOut   atomic.Int64
+	framesIn    atomic.Int64
+}
+
 // ConnectionProvider manages this node's attachment to the Internet: it
 // periodically checks MANET SLP for a gateway service, opens a layer-2
 // tunnel to the gateway it finds, and transparently routes Internet-bound
@@ -65,15 +90,20 @@ type ConnectionProvider struct {
 
 	conn *netem.Conn
 
-	mu       sync.Mutex
-	attached bool
-	gateway  netem.NodeID
-	gwPort   uint16
-	ackCh    chan bool
-	pongCh   chan struct{}
-	watchers []func(bool)
-	started  bool
-	closed   bool
+	mu            sync.Mutex
+	attached      bool
+	gateway       netem.NodeID
+	gwPort        uint16
+	ackCh         chan bool
+	pongCh        chan struct{}
+	watchers      []func(bool)
+	started       bool
+	closed        bool
+	lastAttachGW  string
+	lastAttachDur time.Duration
+
+	stats connCounters
+	obs   *obs.Observer
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -88,7 +118,24 @@ func NewConnectionProvider(host *netem.Host, agent *slp.Agent, cfg ConnProviderC
 		agent: agent,
 		cfg:   cfg,
 		clk:   cfg.Clock,
+		obs:   cfg.Obs,
 		stop:  make(chan struct{}),
+	}
+}
+
+// Stats returns a snapshot of the provider counters.
+func (p *ConnectionProvider) Stats() ConnStats {
+	p.mu.Lock()
+	gw, dur := p.lastAttachGW, p.lastAttachDur
+	p.mu.Unlock()
+	return ConnStats{
+		Attaches:      p.stats.attaches.Load(),
+		Detaches:      p.stats.detaches.Load(),
+		AttachFails:   p.stats.attachFails.Load(),
+		FramesOut:     p.stats.framesOut.Load(),
+		FramesIn:      p.stats.framesIn.Load(),
+		LastAttachGW:  gw,
+		LastAttachDur: dur,
 	}
 }
 
@@ -187,6 +234,11 @@ func (p *ConnectionProvider) probeLoop() {
 // dead gateway whose stale advert still lingers in the cache only costs one
 // OPEN timeout before the live one is used.
 func (p *ConnectionProvider) tryAttach() {
+	// The attach span covers the whole acquisition: SLP gateway discovery
+	// plus the tunnel OPEN handshake. It is node-scoped (no Call-ID) and is
+	// stitched into call traces by time proximity.
+	span := p.obs.StartSpan("", obs.PhaseGatewayAttach, string(p.host.ID()))
+	attachStart := p.clk.Now()
 	candidates := p.gatewayCandidates()
 	if len(candidates) == 0 {
 		// Nothing cached: issue a wildcard query and retry on answer.
@@ -197,15 +249,21 @@ func (p *ConnectionProvider) tryAttach() {
 	}
 	for _, cand := range candidates {
 		if p.openTunnel(cand.node, cand.port) {
+			dur := p.clk.Now().Sub(attachStart)
 			p.mu.Lock()
 			p.attached = true
 			p.gateway = cand.node
 			p.gwPort = cand.port
+			p.lastAttachGW = string(cand.node)
+			p.lastAttachDur = dur
 			p.mu.Unlock()
+			p.stats.attaches.Add(1)
+			span.End("gw=" + string(cand.node))
 			p.host.SetDefaultHandler(p.tunnelOut)
 			p.notify(true)
 			return
 		}
+		p.stats.attachFails.Add(1)
 		select {
 		case <-p.stop:
 			return
@@ -298,6 +356,7 @@ func (p *ConnectionProvider) detach() {
 	p.gwPort = 0
 	p.mu.Unlock()
 	if wasAttached {
+		p.stats.detaches.Add(1)
 		p.host.SetDefaultHandler(nil)
 	}
 }
@@ -324,6 +383,7 @@ func (p *ConnectionProvider) tunnelOut(dg *netem.Datagram) bool {
 	if err != nil {
 		return false
 	}
+	p.stats.framesOut.Add(1)
 	return p.conn.WriteTo(data, gw, port) == nil
 }
 
@@ -360,6 +420,7 @@ func (p *ConnectionProvider) recvLoop() {
 			if err != nil {
 				continue
 			}
+			p.stats.framesIn.Add(1)
 			p.host.InjectDatagram(inner)
 		}
 	}

@@ -3,11 +3,13 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"siphoc/internal/clock"
 	"siphoc/internal/internet"
 	"siphoc/internal/netem"
+	"siphoc/internal/obs"
 	"siphoc/internal/slp"
 )
 
@@ -19,6 +21,8 @@ type GatewayConfig struct {
 	ClientTTL time.Duration
 	// Clock is the time source (default the system clock).
 	Clock clock.Clock
+	// Obs records tunnel gauges and counters. Nil disables.
+	Obs *obs.Observer
 }
 
 func (c GatewayConfig) withDefaults() GatewayConfig {
@@ -40,6 +44,24 @@ type GatewayStats struct {
 	TunnelsClosed int64
 	FramesIn      int64 // datagrams tunnelled MANET -> Internet
 	FramesOut     int64 // datagrams tunnelled Internet -> MANET
+}
+
+// gatewayCounters is the live, atomically updated form of GatewayStats, so
+// snapshots never race with the tunnelling data path.
+type gatewayCounters struct {
+	tunnelsOpened atomic.Int64
+	tunnelsClosed atomic.Int64
+	framesIn      atomic.Int64
+	framesOut     atomic.Int64
+}
+
+func (c *gatewayCounters) snapshot() GatewayStats {
+	return GatewayStats{
+		TunnelsOpened: c.tunnelsOpened.Load(),
+		TunnelsClosed: c.tunnelsClosed.Load(),
+		FramesIn:      c.framesIn.Load(),
+		FramesOut:     c.framesOut.Load(),
+	}
 }
 
 type tunnelClient struct {
@@ -66,9 +88,12 @@ type GatewayProvider struct {
 
 	mu      sync.Mutex
 	clients map[netem.NodeID]*tunnelClient
-	stats   GatewayStats
 	started bool
 	closed  bool
+
+	stats gatewayCounters
+	// Pre-resolved obs handle; nil when cfg.Obs is nil.
+	obsClients *obs.Gauge
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -79,7 +104,7 @@ type GatewayProvider struct {
 // agent, used to publish the gateway service.
 func NewGatewayProvider(host *netem.Host, inet *internet.Internet, agent *slp.Agent, cfg GatewayConfig) *GatewayProvider {
 	cfg = cfg.withDefaults()
-	return &GatewayProvider{
+	g := &GatewayProvider{
 		host:    host,
 		inet:    inet,
 		agent:   agent,
@@ -88,6 +113,10 @@ func NewGatewayProvider(host *netem.Host, inet *internet.Internet, agent *slp.Ag
 		clients: make(map[netem.NodeID]*tunnelClient),
 		stop:    make(chan struct{}),
 	}
+	if cfg.Obs.Enabled() {
+		g.obsClients = cfg.Obs.Gauge("gateway.tunnels.active")
+	}
+	return g
 }
 
 // Start publishes the gateway service and begins accepting tunnels. It also
@@ -168,9 +197,7 @@ func (g *GatewayProvider) Stop() {
 
 // Stats returns a snapshot of the gateway counters.
 func (g *GatewayProvider) Stats() GatewayStats {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.stats
+	return g.stats.snapshot()
 }
 
 // Clients returns the nodes currently tunnelled through this gateway.
@@ -234,14 +261,16 @@ func (g *GatewayProvider) handleOpen(node netem.NodeID, peerPort uint16) {
 		}
 		g.mu.Lock()
 		peer := c.peer
-		g.stats.FramesOut++
 		g.mu.Unlock()
+		g.stats.framesOut.Add(1)
 		_ = g.conn.WriteTo(data, node, peer)
 	})
 	g.mu.Lock()
 	g.clients[node] = c
-	g.stats.TunnelsOpened++
+	active := len(g.clients)
 	g.mu.Unlock()
+	g.stats.tunnelsOpened.Add(1)
+	g.obsClients.Set(int64(active))
 	_ = g.conn.WriteTo((&tunnelMsg{Kind: tunOpenAck, OK: true}).marshal(), node, peerPort)
 }
 
@@ -250,12 +279,12 @@ func (g *GatewayProvider) handleData(node netem.NodeID, inner []byte) {
 	c := g.clients[node]
 	if c != nil {
 		c.lastSeen = g.clk.Now()
-		g.stats.FramesIn++
 	}
 	g.mu.Unlock()
 	if c == nil {
 		return
 	}
+	g.stats.framesIn.Add(1)
 	dg, err := netem.UnmarshalDatagram(inner)
 	if err != nil {
 		return
@@ -275,11 +304,11 @@ func (g *GatewayProvider) closeClient(node netem.NodeID) {
 	g.mu.Lock()
 	c := g.clients[node]
 	delete(g.clients, node)
-	if c != nil {
-		g.stats.TunnelsClosed++
-	}
+	active := len(g.clients)
 	g.mu.Unlock()
 	if c != nil {
+		g.stats.tunnelsClosed.Add(1)
+		g.obsClients.Set(int64(active))
 		g.inet.RemoveHost(node)
 	}
 }

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"siphoc/internal/clock"
 	"siphoc/internal/netem"
+	"siphoc/internal/obs"
 	"siphoc/internal/sip"
 	"siphoc/internal/slp"
 )
@@ -37,6 +39,10 @@ type ProxyConfig struct {
 	DNS func(domain string) sip.Addr
 	// Clock is the time source (default the system clock).
 	Clock clock.Clock
+	// Obs records resolution spans and routing counters; it is also
+	// propagated to the embedded SIP stack unless SIP.Obs is already set.
+	// Nil disables.
+	Obs *obs.Observer
 }
 
 func (c ProxyConfig) withDefaults() ProxyConfig {
@@ -63,6 +69,9 @@ func (c ProxyConfig) withDefaults() ProxyConfig {
 	if c.Clock == nil {
 		c.Clock = clock.New()
 	}
+	if c.SIP.Obs == nil {
+		c.SIP.Obs = c.Obs
+	}
 	return c
 }
 
@@ -78,6 +87,36 @@ type ProxyStats struct {
 	Unresolved      int64 // answered 404/480
 	UpstreamRegOK   int64
 	UpstreamRegFail int64
+}
+
+// proxyCounters is the live, atomically updated form of ProxyStats, so
+// snapshots never race with the routing path.
+type proxyCounters struct {
+	registers       atomic.Int64
+	requestsRouted  atomic.Int64
+	localDeliveries atomic.Int64
+	slpResolutions  atomic.Int64
+	internetRouted  atomic.Int64
+	endpointRouted  atomic.Int64
+	routeFollowed   atomic.Int64
+	unresolved      atomic.Int64
+	upstreamRegOK   atomic.Int64
+	upstreamRegFail atomic.Int64
+}
+
+func (c *proxyCounters) snapshot() ProxyStats {
+	return ProxyStats{
+		Registers:       c.registers.Load(),
+		RequestsRouted:  c.requestsRouted.Load(),
+		LocalDeliveries: c.localDeliveries.Load(),
+		SLPResolutions:  c.slpResolutions.Load(),
+		InternetRouted:  c.internetRouted.Load(),
+		EndpointRouted:  c.endpointRouted.Load(),
+		RouteFollowed:   c.routeFollowed.Load(),
+		Unresolved:      c.unresolved.Load(),
+		UpstreamRegOK:   c.upstreamRegOK.Load(),
+		UpstreamRegFail: c.upstreamRegFail.Load(),
+	}
 }
 
 type localBinding struct {
@@ -107,9 +146,11 @@ type Proxy struct {
 	// Internet provider challenges our upstream registration.
 	creds   map[string]upstreamCred
 	nc      uint32
-	stats   ProxyStats
 	started bool
 	closed  bool
+
+	stats proxyCounters
+	obs   *obs.Observer
 
 	wg sync.WaitGroup
 }
@@ -124,6 +165,7 @@ func NewProxy(host *netem.Host, agent *slp.Agent, connp *ConnectionProvider, cfg
 		connp:    connp,
 		cfg:      cfg,
 		clk:      cfg.Clock,
+		obs:      cfg.Obs,
 		bindings: make(map[string]localBinding),
 		upstream: make(map[string]int),
 		invites:  make(map[string]*inviteForward),
@@ -176,9 +218,7 @@ func (p *Proxy) Addr() sip.Addr {
 
 // Stats returns a snapshot of the proxy counters.
 func (p *Proxy) Stats() ProxyStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return p.stats.snapshot()
 }
 
 // Bindings returns the locally registered AORs.
@@ -241,8 +281,8 @@ func (p *Proxy) handleRegister(tx *sip.ServerTx) {
 	if req.Expires >= 0 {
 		ttl = time.Duration(req.Expires) * time.Second
 	}
+	p.stats.registers.Add(1)
 	p.mu.Lock()
-	p.stats.Registers++
 	if ttl == 0 {
 		delete(p.bindings, aor)
 	} else {
@@ -319,20 +359,18 @@ func (p *Proxy) resolve(req *sip.Message) (sip.Addr, string, int) {
 }
 
 func (p *Proxy) recordResolution(kind string) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats.RequestsRouted++
+	p.stats.requestsRouted.Add(1)
 	switch kind {
 	case "local":
-		p.stats.LocalDeliveries++
+		p.stats.localDeliveries.Add(1)
 	case "slp":
-		p.stats.SLPResolutions++
+		p.stats.slpResolutions.Add(1)
 	case "internet":
-		p.stats.InternetRouted++
+		p.stats.internetRouted.Add(1)
 	case "endpoint":
-		p.stats.EndpointRouted++
+		p.stats.endpointRouted.Add(1)
 	case "route":
-		p.stats.RouteFollowed++
+		p.stats.routeFollowed.Add(1)
 	}
 }
 
@@ -373,11 +411,17 @@ func (p *Proxy) routeStateful(tx *sip.ServerTx) {
 		_ = tx.RespondCode(sip.StatusTooManyHops, "")
 		return
 	}
+	// The resolve step is where SLP (and possibly a route discovery
+	// triggered by the query traffic) spends the call-setup time the
+	// paper's Figure 6 decomposes; trace it per call on the INVITE path.
+	var resolveSpan obs.SpanHandle
+	if req.Method == sip.MethodInvite {
+		resolveSpan = p.obs.StartSpan(req.CallID, obs.PhaseSLPResolve, string(p.host.ID()))
+	}
 	dst, kind, failCode := p.nextHopFor(fwd)
+	resolveSpan.End("kind=" + kind)
 	if kind == "" {
-		p.mu.Lock()
-		p.stats.Unresolved++
-		p.mu.Unlock()
+		p.stats.unresolved.Add(1)
 		_ = tx.RespondCode(failCode, "")
 		return
 	}
@@ -556,10 +600,10 @@ func (p *Proxy) registerUpstream(aor string) {
 	}
 	p.mu.Lock()
 	p.upstream[aor] = code
-	if code == sip.StatusOK {
-		p.stats.UpstreamRegOK++
-	} else {
-		p.stats.UpstreamRegFail++
-	}
 	p.mu.Unlock()
+	if code == sip.StatusOK {
+		p.stats.upstreamRegOK.Add(1)
+	} else {
+		p.stats.upstreamRegFail.Add(1)
+	}
 }

@@ -14,6 +14,10 @@ type E8Result struct {
 	AODVCold time.Duration
 	AODVWarm time.Duration
 	OLSR     time.Duration
+	// ColdPhases decomposes the cold-AODV setup delay into its trace
+	// phases (the paper's Figure 5/6 breakdown), averaged over trials:
+	// obs.PhaseSLPResolve, obs.PhaseRouteDiscovery, obs.PhaseSIPTransaction.
+	ColdPhases map[string]time.Duration
 }
 
 // E8 quantifies the scalability dimension the paper defers to future work
@@ -36,9 +40,24 @@ func E8(w io.Writer) error {
 			r.Hops, r.AODVCold.Round(100*time.Microsecond),
 			r.AODVWarm.Round(100*time.Microsecond), r.OLSR.Round(100*time.Microsecond))
 	}
-	fmt.Fprintf(w, "\nshape check: cold AODV > warm AODV at every hop count (route discovery cost);\n")
+	fmt.Fprintf(w, "\ncold-AODV breakdown from call traces (Figure 5/6 decomposition):\n")
+	fmt.Fprintf(w, "%-6s %14s %16s %16s\n", "hops", "slp.resolve", "route.discovery", "sip.transaction")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-6d %14v %16v %16v\n", r.Hops,
+			r.ColdPhases[siphoc.PhaseSLPResolve].Round(100*time.Microsecond),
+			r.ColdPhases[siphoc.PhaseRouteDiscovery].Round(100*time.Microsecond),
+			r.ColdPhases[siphoc.PhaseSIPTransaction].Round(100*time.Microsecond))
+	}
+	fmt.Fprintf(w, "\nshape check: cold AODV > warm AODV wherever the trace shows route\n")
+	fmt.Fprintf(w, "discovery actually ran (at 1 hop, hellos may pre-establish the route);\n")
 	fmt.Fprintf(w, "delay grows with distance for all variants.\n")
 	for _, r := range results {
+		// The traces say whether the cold call really paid a discovery
+		// round; when it did not (neighbour routes from hellos), cold vs
+		// warm is pure jitter and the comparison would be a coin flip.
+		if r.ColdPhases[siphoc.PhaseRouteDiscovery] <= 0 {
+			continue
+		}
 		if r.AODVCold <= r.AODVWarm {
 			return fmt.Errorf("hops=%d: cold (%v) not slower than warm (%v)", r.Hops, r.AODVCold, r.AODVWarm)
 		}
@@ -55,14 +74,17 @@ func E8(w io.Writer) error {
 func RunE8(trials int, hopCounts []int) ([]E8Result, error) {
 	results := make([]E8Result, 0, len(hopCounts))
 	for _, hops := range hopCounts {
-		r := E8Result{Hops: hops}
+		r := E8Result{Hops: hops, ColdPhases: make(map[string]time.Duration)}
 		for range trials {
-			cold, warm, err := measureAODV(hops)
+			cold, warm, phases, err := measureAODV(hops)
 			if err != nil {
 				return nil, fmt.Errorf("aodv %d hops: %w", hops, err)
 			}
 			r.AODVCold += cold
 			r.AODVWarm += warm
+			for _, pd := range phases {
+				r.ColdPhases[pd.Phase] += pd.Duration
+			}
 			olsr, err := measureOLSR(hops)
 			if err != nil {
 				return nil, fmt.Errorf("olsr %d hops: %w", hops, err)
@@ -72,43 +94,47 @@ func RunE8(trials int, hopCounts []int) ([]E8Result, error) {
 		r.AODVCold /= time.Duration(trials)
 		r.AODVWarm /= time.Duration(trials)
 		r.OLSR /= time.Duration(trials)
+		for phase := range r.ColdPhases {
+			r.ColdPhases[phase] /= time.Duration(trials)
+		}
 		results = append(results, r)
 	}
 	return results, nil
 }
 
 // measureAODV sets up a fresh chain and measures the first (cold-route) and
-// second (warm-route) call setup delays.
-func measureAODV(hops int) (cold, warm time.Duration, err error) {
+// second (warm-route) call setup delays; the cold call additionally yields
+// its trace-derived phase breakdown.
+func measureAODV(hops int) (cold, warm time.Duration, phases []siphoc.PhaseDuration, err error) {
 	sc, err := siphoc.NewScenario(siphoc.ScenarioConfig{})
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, nil, err
 	}
 	defer sc.Close()
 	nodes, err := sc.Chain(hops+1, 90)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, nil, err
 	}
 	alice, bob, err := setupEndpoints(nodes)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, nil, err
 	}
 	_ = bob
 	// Let the SLP advert reach the caller so the measurement isolates the
 	// routing + SIP cost, with the SLP cache warm (the steady state the
 	// paper's epidemics produce).
 	if _, err := nodes[0].SLP().Lookup("sip", "bob@voicehoc.ch", waitLong); err != nil {
-		return 0, 0, fmt.Errorf("SLP never converged: %w", err)
+		return 0, 0, nil, fmt.Errorf("SLP never converged: %w", err)
 	}
-	cold, err = placeCall(alice)
+	cold, phases, err = placeTracedCall(alice)
 	if err != nil {
-		return 0, 0, fmt.Errorf("cold call: %w", err)
+		return 0, 0, nil, fmt.Errorf("cold call: %w", err)
 	}
 	warm, err = placeCall(alice)
 	if err != nil {
-		return 0, 0, fmt.Errorf("warm call: %w", err)
+		return 0, 0, nil, fmt.Errorf("warm call: %w", err)
 	}
-	return cold, warm, nil
+	return cold, warm, phases, nil
 }
 
 func measureOLSR(hops int) (time.Duration, error) {
@@ -161,16 +187,25 @@ func setupEndpoints(nodes []*siphoc.Node) (*siphoc.Phone, *siphoc.Phone, error) 
 }
 
 func placeCall(caller *siphoc.Phone) (time.Duration, error) {
+	d, _, err := placeTracedCall(caller)
+	return d, err
+}
+
+// placeTracedCall places one call and returns both the wall-clock setup
+// delay and the trace-derived breakdown of the setup window (which tiles
+// the window exactly: the phase durations sum to the traced setup time).
+func placeTracedCall(caller *siphoc.Phone) (time.Duration, []siphoc.PhaseDuration, error) {
 	call, err := caller.Dial("bob@voicehoc.ch")
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	if err := call.WaitEstablished(20 * time.Second); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	d := call.SetupDuration()
+	breakdown := call.Trace().SetupBreakdown()
 	if err := call.Hangup(); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	return d, nil
+	return d, breakdown, nil
 }

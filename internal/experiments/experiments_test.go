@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"siphoc"
 )
 
 func TestRegistryComplete(t *testing.T) {
@@ -86,6 +88,11 @@ func TestRunE8SinglePoint(t *testing.T) {
 	}
 	if rows[0].AODVWarm <= 0 || rows[0].OLSR <= 0 {
 		t.Fatalf("non-positive delays: %+v", rows[0])
+	}
+	// The cold call must carry a trace-derived breakdown with the SIP
+	// transaction share dominating a warm-SLP in-MANET call.
+	if rows[0].ColdPhases[siphoc.PhaseSIPTransaction] <= 0 {
+		t.Fatalf("cold breakdown has no SIP share: %+v", rows[0].ColdPhases)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"siphoc/internal/clock"
+	"siphoc/internal/obs"
 )
 
 // Position is a node's 2-D location in metres.
@@ -46,6 +47,9 @@ type Config struct {
 	// QueueLen is each node's receive queue length; frames arriving at a
 	// full queue are dropped, as on a congested radio (default 1024).
 	QueueLen int
+	// Obs receives medium-level metrics (frame/byte/loss counters). Nil
+	// disables observability at zero cost on the send path.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +121,12 @@ type Network struct {
 	tap   atomic.Pointer[func(Frame)]
 	udp   atomic.Pointer[udpUnderlay]
 	sched *scheduler
+
+	// Pre-resolved obs handles; all nil when cfg.Obs is nil, so the send
+	// hot path pays a single branch in disabled mode.
+	obsFrames *obs.Counter
+	obsBytes  *obs.Counter
+	obsLost   *obs.Counter
 }
 
 type linkKey struct{ a, b NodeID }
@@ -141,6 +151,11 @@ func NewNetwork(cfg Config) *Network {
 		sched:        newScheduler(cfg.Clock),
 	}
 	n.lossBits.Store(math.Float64bits(cfg.LossRate))
+	if cfg.Obs.Enabled() {
+		n.obsFrames = cfg.Obs.Counter("netem.frames")
+		n.obsBytes = cfg.Obs.Counter("netem.bytes")
+		n.obsLost = cfg.Obs.Counter("netem.frames.lost")
+	}
 	return n
 }
 
@@ -412,6 +427,10 @@ func (n *Network) send(f Frame) error {
 		receivers = 1
 	}
 	n.stats.recordFrame(f, receivers)
+	if n.obsFrames != nil {
+		n.obsFrames.Inc()
+		n.obsBytes.Add(int64(len(f.Payload)))
+	}
 
 	delay := n.cfg.BaseDelay
 	if n.cfg.BytesPerSecond > 0 {
@@ -431,12 +450,14 @@ func (n *Network) send(f Frame) error {
 				if n.rng.Float64() < lossRate {
 					one = nil
 					n.stats.lost.Add(1)
+					n.obsLost.Inc()
 				}
 			} else if len(many) > 0 {
 				kept := make([]*Host, 0, len(many))
 				for _, h := range many {
 					if n.rng.Float64() < lossRate {
 						n.stats.lost.Add(1)
+						n.obsLost.Inc()
 						continue
 					}
 					kept = append(kept, h)

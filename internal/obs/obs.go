@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"time"
+
+	"siphoc/internal/clock"
+)
+
+// Observer bundles the metrics registry and the call tracer behind one
+// nil-safe handle. A nil *Observer is the disabled mode: every method no-ops
+// (returning nil metric handles, zero span handles and empty traces), so
+// components hold a plain *Observer field and instrument unconditionally.
+type Observer struct {
+	clk    clock.Clock
+	reg    *Registry
+	tracer *Tracer
+}
+
+// New returns an enabled Observer. A nil clk falls back to the wall clock;
+// scenarios pass their scaled simulation clock so span timestamps line up
+// with call timestamps.
+func New(clk clock.Clock) *Observer {
+	if clk == nil {
+		clk = clock.New()
+	}
+	return &Observer{clk: clk, reg: NewRegistry(), tracer: NewTracer()}
+}
+
+// Enabled reports whether the observer records anything.
+func (o *Observer) Enabled() bool { return o != nil }
+
+// Counter returns the named counter (nil when disabled — still safe to use).
+func (o *Observer) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.reg.Counter(name)
+}
+
+// Gauge returns the named gauge (nil when disabled).
+func (o *Observer) Gauge(name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.reg.Gauge(name)
+}
+
+// Histogram returns the named histogram (nil when disabled). Nil bounds use
+// DefaultLatencyBuckets.
+func (o *Observer) Histogram(name string, bounds []time.Duration) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.reg.Histogram(name, bounds)
+}
+
+// Snapshot captures all metrics. The zero snapshot when disabled.
+func (o *Observer) Snapshot() RegistrySnapshot {
+	if o == nil {
+		return RegistrySnapshot{}
+	}
+	return o.reg.Snapshot()
+}
+
+// Now returns the observer's clock reading, or the zero time when disabled.
+func (o *Observer) Now() time.Time {
+	if o == nil {
+		return time.Time{}
+	}
+	return o.clk.Now()
+}
+
+// StartSpan opens a span. callID may be empty for node-scoped spans (route
+// discovery, gateway attach); those are stitched into call traces by time
+// overlap. The returned handle is a value: the zero handle (from a disabled
+// observer) no-ops on End.
+func (o *Observer) StartSpan(callID, phase, node string) SpanHandle {
+	if o == nil {
+		return SpanHandle{}
+	}
+	return SpanHandle{o: o, callID: callID, phase: phase, node: node, start: o.clk.Now()}
+}
+
+// RecordSpan records an already-timed span directly.
+func (o *Observer) RecordSpan(s Span) {
+	if o == nil {
+		return
+	}
+	o.tracer.record(s)
+}
+
+// Event records a point-in-time annotation on a call. No-op when disabled or
+// when callID is empty.
+func (o *Observer) Event(callID, name, node, detail string) {
+	if o == nil {
+		return
+	}
+	o.tracer.event(Event{CallID: callID, Name: name, Node: node, Detail: detail, At: o.clk.Now()})
+}
+
+// Trace assembles the stitched timeline for one call. Never nil: a disabled
+// observer (or an unknown call) yields an empty trace.
+func (o *Observer) Trace(callID string) *CallTrace {
+	if o == nil {
+		return &CallTrace{CallID: callID}
+	}
+	return o.tracer.trace(callID)
+}
+
+// SpanHandle is an open span. End it exactly once; extra Ends and the zero
+// handle are no-ops.
+type SpanHandle struct {
+	o      *Observer
+	callID string
+	phase  string
+	node   string
+	start  time.Time
+}
+
+// Active reports whether the handle records anything on End.
+func (h SpanHandle) Active() bool { return h.o != nil }
+
+// End closes the span with an optional detail annotation.
+func (h SpanHandle) End(detail string) {
+	if h.o == nil {
+		return
+	}
+	h.o.tracer.record(Span{
+		CallID: h.callID,
+		Phase:  h.phase,
+		Node:   h.node,
+		Detail: detail,
+		Start:  h.start,
+		End:    h.o.clk.Now(),
+	})
+}
+
+// EndAt closes the span at an explicit end time (for spans whose boundary is
+// observed on another goroutine's timestamp).
+func (h SpanHandle) EndAt(end time.Time, detail string) {
+	if h.o == nil {
+		return
+	}
+	h.o.tracer.record(Span{
+		CallID: h.callID,
+		Phase:  h.phase,
+		Node:   h.node,
+		Detail: detail,
+		Start:  h.start,
+		End:    end,
+	})
+}

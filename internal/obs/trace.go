@@ -1,0 +1,379 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Phase names of the call-setup taxonomy (DESIGN.md §8). Call-scoped spans
+// carry the SIP Call-ID; node-scoped spans (route discovery, gateway attach)
+// carry an empty Call-ID and are stitched into a call's trace by time
+// overlap with its setup window.
+const (
+	// PhaseSetup is the anchor span of an outgoing call: Dial() to the
+	// dialog confirming (200 OK + ACK). Its extent is the setup window all
+	// other phases are tiled into.
+	PhaseSetup = "call.setup"
+	// PhaseSLPResolve covers the proxy resolving the callee to a next-hop
+	// address: registrar lookup, MANET SLP query (cache hit or epidemic
+	// round trip) or Internet DNS fallback.
+	PhaseSLPResolve = "slp.resolve"
+	// PhaseRouteDiscovery covers a reactive route discovery (AODV RREQ
+	// flood) or a proactive route wait (OLSR). Node-scoped.
+	PhaseRouteDiscovery = "route.discovery"
+	// PhaseGatewayAttach covers the Connection Provider opening its
+	// layer-2 tunnel to a gateway. Node-scoped.
+	PhaseGatewayAttach = "gateway.attach"
+	// PhaseSIPTransaction is the SIP signalling remainder of the setup
+	// window: transaction transit, retransmissions, ringing and answer.
+	PhaseSIPTransaction = "sip.transaction"
+	// PhaseSIPLeg is one hop-by-hop client transaction leg (UA→proxy,
+	// proxy→proxy, proxy→UA), annotated with its retransmit count. Legs
+	// overlap the other phases and are reported alongside, not summed.
+	PhaseSIPLeg = "sip.leg"
+	// PhaseMediaStart runs from the dialog confirming to the first RTP
+	// packet received — the media-path warm-up after signalling.
+	PhaseMediaStart = "media.start"
+)
+
+// Span is one timed operation attributed to a call (CallID set) or to a node
+// (CallID empty).
+type Span struct {
+	CallID string    `json:"call_id,omitempty"`
+	Phase  string    `json:"phase"`
+	Node   string    `json:"node"`
+	Detail string    `json:"detail,omitempty"`
+	Start  time.Time `json:"start"`
+	End    time.Time `json:"end"`
+}
+
+// Duration returns the span extent.
+func (s Span) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// Event is a point-in-time annotation attributed to a call.
+type Event struct {
+	CallID string    `json:"call_id,omitempty"`
+	Name   string    `json:"name"`
+	Node   string    `json:"node"`
+	Detail string    `json:"detail,omitempty"`
+	At     time.Time `json:"at"`
+}
+
+// Bounds keeping the tracer's memory finite on long-running deployments.
+const (
+	maxTracedCalls   = 1024 // oldest call evicted beyond this
+	maxSpansPerCall  = 128  // further spans on one call are dropped
+	maxNodeSpans     = 4096 // node-scoped spans kept, ring-buffer style
+	maxEventsPerCall = 128
+)
+
+type callRecord struct {
+	spans  []Span
+	events []Event
+}
+
+// Tracer records spans and events. All methods are safe for concurrent use.
+type Tracer struct {
+	mu        sync.Mutex
+	calls     map[string]*callRecord
+	order     []string // call eviction order (insertion)
+	nodeSpans []Span   // completed node-scoped spans
+	nodeHead  int      // ring index into nodeSpans once full
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{calls: make(map[string]*callRecord)}
+}
+
+func (t *Tracer) record(s Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s.CallID == "" {
+		if len(t.nodeSpans) < maxNodeSpans {
+			t.nodeSpans = append(t.nodeSpans, s)
+		} else {
+			t.nodeSpans[t.nodeHead] = s
+			t.nodeHead = (t.nodeHead + 1) % maxNodeSpans
+		}
+		return
+	}
+	rec := t.callLocked(s.CallID)
+	if len(rec.spans) < maxSpansPerCall {
+		rec.spans = append(rec.spans, s)
+	}
+}
+
+func (t *Tracer) event(e Event) {
+	if e.CallID == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec := t.callLocked(e.CallID)
+	if len(rec.events) < maxEventsPerCall {
+		rec.events = append(rec.events, e)
+	}
+}
+
+// callLocked fetches or creates the record for a call, evicting the oldest
+// call when the table is full.
+func (t *Tracer) callLocked(callID string) *callRecord {
+	rec, ok := t.calls[callID]
+	if !ok {
+		if len(t.order) >= maxTracedCalls {
+			delete(t.calls, t.order[0])
+			t.order = t.order[1:]
+		}
+		rec = &callRecord{}
+		t.calls[callID] = rec
+		t.order = append(t.order, callID)
+	}
+	return rec
+}
+
+// gatewayAttachLookback bounds how far before the setup window a completed
+// gateway attach is still attributed to a call's trace: attachment usually
+// happens once, ahead of any call, but remains the reason the call could
+// leave the MANET at all.
+const gatewayAttachLookback = 30 * time.Second
+
+// trace assembles the stitched view of one call.
+func (t *Tracer) trace(callID string) *CallTrace {
+	t.mu.Lock()
+	rec := t.calls[callID]
+	var spans []Span
+	var events []Event
+	if rec != nil {
+		spans = append(spans, rec.spans...)
+		events = append(events, rec.events...)
+	}
+	nodeSpans := append([]Span(nil), t.nodeSpans...)
+	t.mu.Unlock()
+	if len(spans) == 0 && len(events) == 0 {
+		return &CallTrace{CallID: callID}
+	}
+
+	// The setup window: the call.setup anchor span when present, otherwise
+	// the extent of all call-scoped spans.
+	var winStart, winEnd time.Time
+	for _, s := range spans {
+		if s.Phase == PhaseSetup {
+			winStart, winEnd = s.Start, s.End
+			break
+		}
+	}
+	if winStart.IsZero() {
+		for _, s := range spans {
+			if winStart.IsZero() || s.Start.Before(winStart) {
+				winStart = s.Start
+			}
+			if s.End.After(winEnd) {
+				winEnd = s.End
+			}
+		}
+	}
+
+	// Stitch in node-scoped spans that overlap the window; a completed
+	// gateway attach shortly before the window also counts (see
+	// gatewayAttachLookback).
+	for _, s := range nodeSpans {
+		overlaps := s.Start.Before(winEnd) && s.End.After(winStart)
+		recentAttach := s.Phase == PhaseGatewayAttach &&
+			!s.End.After(winEnd) && s.End.After(winStart.Add(-gatewayAttachLookback))
+		if overlaps || recentAttach {
+			spans = append(spans, s)
+		}
+	}
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At.Before(events[j].At) })
+	return &CallTrace{CallID: callID, Spans: spans, Events: events, winStart: winStart, winEnd: winEnd}
+}
+
+// CallTrace is the per-call timeline: every span and event attributed to one
+// Call-ID, plus the node-scoped infrastructure spans stitched in by overlap.
+type CallTrace struct {
+	CallID string  `json:"call_id"`
+	Spans  []Span  `json:"spans,omitempty"`
+	Events []Event `json:"events,omitempty"`
+
+	winStart, winEnd time.Time
+}
+
+// Empty reports whether nothing was recorded for the call.
+func (ct *CallTrace) Empty() bool { return ct == nil || len(ct.Spans) == 0 }
+
+// Window returns the setup window (Dial to dialog confirmation).
+func (ct *CallTrace) Window() (start, end time.Time, ok bool) {
+	if ct == nil || ct.winStart.IsZero() {
+		return time.Time{}, time.Time{}, false
+	}
+	return ct.winStart, ct.winEnd, true
+}
+
+// SetupDuration returns the extent of the setup window.
+func (ct *CallTrace) SetupDuration() time.Duration {
+	if ct == nil || ct.winStart.IsZero() {
+		return 0
+	}
+	return ct.winEnd.Sub(ct.winStart)
+}
+
+// PhaseDuration is one row of a phase breakdown.
+type PhaseDuration struct {
+	Phase    string        `json:"phase"`
+	Duration time.Duration `json:"duration"`
+}
+
+// setupPhasePriority orders the measured (non-remainder) phases for window
+// tiling: when measured spans overlap in time, the segment is attributed to
+// the highest-priority phase so the breakdown never double-counts.
+var setupPhasePriority = map[string]int{
+	PhaseSLPResolve:     3,
+	PhaseGatewayAttach:  2,
+	PhaseRouteDiscovery: 1,
+}
+
+// SetupBreakdown tiles the setup window into exclusive phase durations: the
+// measured infrastructure phases (SLP resolution, route discovery, gateway
+// attach — clipped to the window, overlap resolved by priority) and the SIP
+// transaction remainder. The durations sum to SetupDuration exactly, which
+// is what makes the breakdown an honest decomposition of "where did the
+// setup latency go".
+func (ct *CallTrace) SetupBreakdown() []PhaseDuration {
+	if ct == nil || ct.winStart.IsZero() || !ct.winEnd.After(ct.winStart) {
+		return nil
+	}
+	type edge struct {
+		at   time.Time
+		prio int
+		open bool
+	}
+	var edges []edge
+	for _, s := range ct.Spans {
+		prio, measured := setupPhasePriority[s.Phase]
+		if !measured {
+			continue
+		}
+		start, end := s.Start, s.End
+		if start.Before(ct.winStart) {
+			start = ct.winStart
+		}
+		if end.After(ct.winEnd) {
+			end = ct.winEnd
+		}
+		if !end.After(start) {
+			continue
+		}
+		edges = append(edges, edge{at: start, prio: prio, open: true}, edge{at: end, prio: prio, open: false})
+	}
+	totals := map[string]time.Duration{}
+	if len(edges) > 0 {
+		sort.Slice(edges, func(i, j int) bool { return edges[i].at.Before(edges[j].at) })
+		// Sweep the window, attributing each elementary segment to the
+		// highest-priority phase open over it.
+		depth := map[int]int{}
+		prev := ct.winStart
+		phaseFor := func() string {
+			for _, ph := range []string{PhaseSLPResolve, PhaseGatewayAttach, PhaseRouteDiscovery} {
+				if depth[setupPhasePriority[ph]] > 0 {
+					return ph
+				}
+			}
+			return PhaseSIPTransaction
+		}
+		for _, e := range edges {
+			if e.at.After(prev) {
+				totals[phaseFor()] += e.at.Sub(prev)
+				prev = e.at
+			}
+			if e.open {
+				depth[e.prio]++
+			} else {
+				depth[e.prio]--
+			}
+		}
+		if ct.winEnd.After(prev) {
+			totals[phaseFor()] += ct.winEnd.Sub(prev)
+		}
+	} else {
+		totals[PhaseSIPTransaction] = ct.winEnd.Sub(ct.winStart)
+	}
+	var out []PhaseDuration
+	for _, ph := range []string{PhaseSLPResolve, PhaseRouteDiscovery, PhaseGatewayAttach, PhaseSIPTransaction} {
+		if d, ok := totals[ph]; ok && d > 0 {
+			out = append(out, PhaseDuration{Phase: ph, Duration: d})
+		}
+	}
+	return out
+}
+
+// Phases returns the full phase view of the timeline: the exclusive setup
+// breakdown plus the post-setup phases (media start) aggregated from their
+// spans. SIP transaction legs overlap the setup phases by construction and
+// are reported via Spans, not here.
+func (ct *CallTrace) Phases() []PhaseDuration {
+	out := ct.SetupBreakdown()
+	if ct == nil {
+		return out
+	}
+	var media time.Duration
+	for _, s := range ct.Spans {
+		if s.Phase == PhaseMediaStart {
+			media += s.Duration()
+		}
+	}
+	if media > 0 {
+		out = append(out, PhaseDuration{Phase: PhaseMediaStart, Duration: media})
+	}
+	return out
+}
+
+// Phase returns the aggregate duration recorded for one phase name, raw
+// (un-clipped, un-prioritised) across all its spans.
+func (ct *CallTrace) Phase(name string) time.Duration {
+	if ct == nil {
+		return 0
+	}
+	var d time.Duration
+	for _, s := range ct.Spans {
+		if s.Phase == name {
+			d += s.Duration()
+		}
+	}
+	return d
+}
+
+// String renders the timeline for humans: the setup breakdown followed by
+// every span with offsets relative to the window start.
+func (ct *CallTrace) String() string {
+	if ct == nil {
+		return "trace: <nil>"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s: setup %v\n", ct.CallID, ct.SetupDuration().Round(time.Microsecond))
+	for _, pd := range ct.Phases() {
+		fmt.Fprintf(&b, "  %-16s %v\n", pd.Phase, pd.Duration.Round(time.Microsecond))
+	}
+	base := ct.winStart
+	for _, s := range ct.Spans {
+		off := time.Duration(0)
+		if !base.IsZero() {
+			off = s.Start.Sub(base)
+		}
+		fmt.Fprintf(&b, "  [%8v +%8v] %-16s %-10s %s\n",
+			off.Round(time.Microsecond), s.Duration().Round(time.Microsecond), s.Phase, s.Node, s.Detail)
+	}
+	for _, e := range ct.Events {
+		off := time.Duration(0)
+		if !base.IsZero() {
+			off = e.At.Sub(base)
+		}
+		fmt.Fprintf(&b, "  [%8v          ] %-16s %-10s %s\n",
+			off.Round(time.Microsecond), e.Name, e.Node, e.Detail)
+	}
+	return b.String()
+}

@@ -13,6 +13,7 @@ import (
 
 	"siphoc/internal/clock"
 	"siphoc/internal/netem"
+	"siphoc/internal/obs"
 	"siphoc/internal/routing"
 )
 
@@ -43,6 +44,8 @@ type Config struct {
 	EnableHello bool
 	// Clock is the time source (default the system clock).
 	Clock clock.Clock
+	// Obs records route-discovery spans and latency. Nil disables.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -130,6 +133,10 @@ type Protocol struct {
 
 	stop chan struct{}
 	wg   sync.WaitGroup
+
+	// Pre-resolved obs handles; nil when cfg.Obs is nil.
+	obs      *obs.Observer
+	obsDelay *obs.Histogram
 }
 
 var _ routing.Protocol = (*Protocol)(nil)
@@ -137,7 +144,7 @@ var _ routing.Protocol = (*Protocol)(nil)
 // New creates an AODV instance for host. Call Start to begin operation.
 func New(host *netem.Host, cfg Config) *Protocol {
 	cfg = cfg.withDefaults()
-	return &Protocol{
+	p := &Protocol{
 		host:      host,
 		cfg:       cfg,
 		clk:       cfg.Clock,
@@ -147,6 +154,11 @@ func New(host *netem.Host, cfg Config) *Protocol {
 		pending:   make(map[netem.NodeID]*discovery),
 		stop:      make(chan struct{}),
 	}
+	if cfg.Obs.Enabled() {
+		p.obs = cfg.Obs
+		p.obsDelay = cfg.Obs.Histogram("aodv.discovery.delay", nil)
+	}
+	return p
 }
 
 // Name implements routing.Protocol.
@@ -277,21 +289,29 @@ func (p *Protocol) attemptPlan() []rreqAttempt {
 
 func (p *Protocol) discover(dst netem.NodeID, d *discovery) {
 	defer p.wg.Done()
+	span := p.obs.StartSpan("", obs.PhaseRouteDiscovery, string(p.host.ID()))
+	start := p.clk.Now()
 	for _, a := range p.attemptPlan() {
 		p.sendRREQ(dst, a.ttl)
 		timer := p.clk.NewTimer(a.timeout)
 		select {
 		case <-d.success:
 			timer.Stop()
+			if span.Active() {
+				p.obsDelay.Observe(p.clk.Now().Sub(start))
+				span.End("aodv dst=" + string(dst) + " ok")
+			}
 			p.finishDiscovery(dst, d, true)
 			return
 		case <-p.stop:
 			timer.Stop()
+			span.End("aodv dst=" + string(dst) + " stopped")
 			p.finishDiscovery(dst, d, false)
 			return
 		case <-timer.C():
 		}
 	}
+	span.End("aodv dst=" + string(dst) + " failed")
 	p.finishDiscovery(dst, d, false)
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"siphoc/internal/clock"
 	"siphoc/internal/netem"
+	"siphoc/internal/obs"
 	"siphoc/internal/routing"
 )
 
@@ -35,6 +36,8 @@ type Config struct {
 	MaxTTL uint8
 	// Clock is the time source (default the system clock).
 	Clock clock.Clock
+	// Obs records route-wait spans and latency. Nil disables.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -126,6 +129,10 @@ type Protocol struct {
 
 	stop chan struct{}
 	wg   sync.WaitGroup
+
+	// Pre-resolved obs handles; nil when cfg.Obs is nil.
+	obs      *obs.Observer
+	obsDelay *obs.Histogram
 }
 
 var _ routing.Protocol = (*Protocol)(nil)
@@ -133,7 +140,7 @@ var _ routing.Protocol = (*Protocol)(nil)
 // New creates an OLSR instance for host. Call Start to begin operation.
 func New(host *netem.Host, cfg Config) *Protocol {
 	cfg = cfg.withDefaults()
-	return &Protocol{
+	p := &Protocol{
 		host:      host,
 		cfg:       cfg,
 		clk:       cfg.Clock,
@@ -146,6 +153,11 @@ func New(host *netem.Host, cfg Config) *Protocol {
 		table:     routing.NewTable(),
 		stop:      make(chan struct{}),
 	}
+	if cfg.Obs.Enabled() {
+		p.obs = cfg.Obs
+		p.obsDelay = cfg.Obs.Histogram("olsr.routewait.delay", nil)
+	}
+	return p
 }
 
 // Name implements routing.Protocol.
@@ -229,17 +241,24 @@ func (p *Protocol) RequestRoute(dst netem.NodeID, done func(bool)) {
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
-		deadline := p.clk.Now().Add(p.cfg.RouteWait)
+		span := p.obs.StartSpan("", obs.PhaseRouteDiscovery, string(p.host.ID()))
+		start := p.clk.Now()
+		deadline := start.Add(p.cfg.RouteWait)
 		poll := p.cfg.HelloInterval / 2
 		if poll <= 0 {
 			poll = 10 * time.Millisecond
 		}
 		for {
 			if _, ok := p.NextHop(dst); ok {
+				if span.Active() {
+					p.obsDelay.Observe(p.clk.Now().Sub(start))
+					span.End("olsr dst=" + string(dst) + " ok")
+				}
 				done(true)
 				return
 			}
 			if p.clk.Now().After(deadline) {
+				span.End("olsr dst=" + string(dst) + " timeout")
 				done(false)
 				return
 			}
@@ -247,6 +266,7 @@ func (p *Protocol) RequestRoute(dst netem.NodeID, done func(bool)) {
 			select {
 			case <-p.stop:
 				timer.Stop()
+				span.End("olsr dst=" + string(dst) + " stopped")
 				done(false)
 				return
 			case <-timer.C():

@@ -2,6 +2,7 @@ package rtp
 
 import (
 	"sync"
+	"time"
 
 	"siphoc/internal/clock"
 	"siphoc/internal/netem"
@@ -15,11 +16,12 @@ type Session struct {
 	clk  clock.Clock
 	ssrc uint32
 
-	mu     sync.Mutex
-	recv   Receiver
-	jb     *JitterBuffer
-	played int64
-	sent   int64
+	mu          sync.Mutex
+	recv        Receiver
+	jb          *JitterBuffer
+	played      int64
+	sent        int64
+	onFirstRecv func(time.Time) // one-shot; cleared after firing
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -41,6 +43,22 @@ func NewSession(conn *netem.Conn, clk clock.Clock, ssrc uint32) *Session {
 
 // Port returns the local RTP port.
 func (s *Session) Port() uint16 { return s.conn.LocalPort() }
+
+// OnFirstRecv registers a one-shot hook invoked (from the receive goroutine)
+// with the arrival time of the first RTP packet. If a packet already arrived,
+// fn fires immediately with that time. Used to close the media-start span of
+// a call trace.
+func (s *Session) OnFirstRecv(fn func(time.Time)) {
+	s.mu.Lock()
+	fired := s.recv.Stats().Received > 0
+	if !fired {
+		s.onFirstRecv = fn
+	}
+	s.mu.Unlock()
+	if fired {
+		fn(s.clk.Now())
+	}
+}
 
 // SendStream transmits `frames` voice frames to dst:port paced at the G.711
 // frame rate (20 ms), blocking until done or the session closes. It returns
@@ -120,9 +138,14 @@ func (s *Session) recvLoop() {
 		}
 		now := s.clk.Now()
 		s.mu.Lock()
+		first := s.onFirstRecv
+		s.onFirstRecv = nil
 		s.recv.Observe(pkt, now)
 		s.jb.Put(pkt, now)
 		s.played += int64(len(s.jb.PopDue(now)))
 		s.mu.Unlock()
+		if first != nil {
+			first(now)
+		}
 	}
 }

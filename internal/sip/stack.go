@@ -9,6 +9,7 @@ import (
 
 	"siphoc/internal/clock"
 	"siphoc/internal/netem"
+	"siphoc/internal/obs"
 )
 
 // Config tunes the transaction layer. The zero value gets RFC 3261 defaults;
@@ -20,6 +21,9 @@ type Config struct {
 	T2 time.Duration
 	// Clock is the time source (default the system clock).
 	Clock clock.Clock
+	// Obs records per-leg INVITE spans and transaction counters. Nil
+	// disables observability; the message path then pays one branch.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -62,6 +66,12 @@ type Stack struct {
 	seq  atomic.Uint64
 	stop chan struct{}
 	wg   sync.WaitGroup
+
+	// Pre-resolved obs handles; all nil when cfg.Obs is nil.
+	obs         *obs.Observer
+	obsRetrans  *obs.Counter
+	obsTimeouts *obs.Counter
+	obsInvites  *obs.Counter
 }
 
 // NewStack attaches a SIP endpoint to conn and starts its receive loop.
@@ -75,6 +85,12 @@ func NewStack(conn *netem.Conn, cfg Config) *Stack {
 		clientTxs: make(map[string]*ClientTx),
 		serverTxs: make(map[string]*ServerTx),
 		stop:      make(chan struct{}),
+	}
+	if cfg.Obs.Enabled() {
+		s.obs = cfg.Obs
+		s.obsRetrans = cfg.Obs.Counter("sip.retransmits")
+		s.obsTimeouts = cfg.Obs.Counter("sip.tx.timeouts")
+		s.obsInvites = cfg.Obs.Counter("sip.tx.invites")
 	}
 	s.wg.Add(1)
 	go s.recvLoop()

@@ -2,7 +2,10 @@ package sip
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
+
+	"siphoc/internal/obs"
 )
 
 // ClientTx is a client transaction (RFC 3261 §17.1): it retransmits the
@@ -17,9 +20,14 @@ type ClientTx struct {
 	mu         sync.Mutex
 	finalSent  bool
 	terminated bool
+	retrans    int
 	responses  chan *Message
 	done       chan struct{}
 	doneOnce   sync.Once
+
+	// span traces this leg (INVITE only, observer enabled only); the zero
+	// handle no-ops.
+	span obs.SpanHandle
 }
 
 // ErrTimeout is delivered as a synthetic 408 response when a client
@@ -74,8 +82,26 @@ func (tx *ClientTx) AwaitWithProvisional(onProv func(*Message)) (*Message, error
 }
 
 func (tx *ClientTx) start() {
-	tx.stack.wg.Add(1)
+	s := tx.stack
+	if s.obs != nil && tx.req.Method == MethodInvite {
+		s.obsInvites.Inc()
+		tx.span = s.obs.StartSpan(tx.req.CallID, obs.PhaseSIPLeg,
+			string(s.self.Node)+"->"+string(tx.dst.Node))
+	}
+	s.wg.Add(1)
 	go tx.run()
+}
+
+// endSpan closes the leg span with the outcome and retransmit count. Callers
+// hold the finalSent transition, so it runs at most once per transaction.
+func (tx *ClientTx) endSpan(outcome string) {
+	if !tx.span.Active() {
+		return
+	}
+	tx.mu.Lock()
+	n := tx.retrans
+	tx.mu.Unlock()
+	tx.span.End(outcome + " retrans=" + strconv.Itoa(n))
 }
 
 func (tx *ClientTx) run() {
@@ -106,12 +132,18 @@ func (tx *ClientTx) run() {
 		}
 		if s.clk.Now().After(deadline) {
 			// Timeout: synthesize a 408 so callers see a final answer.
+			s.obsTimeouts.Inc()
+			tx.endSpan("timeout")
 			resp := NewResponse(tx.req, StatusRequestTimeout, "Request Timeout (local)")
 			tx.deliver(resp)
 			tx.terminate()
 			return
 		}
 		_ = s.conn.WriteTo(raw, tx.dst.Node, tx.dst.Port)
+		s.obsRetrans.Inc()
+		tx.mu.Lock()
+		tx.retrans++
+		tx.mu.Unlock()
 		interval *= 2
 		if tx.req.Method != MethodInvite && interval > s.cfg.T2 {
 			interval = s.cfg.T2
@@ -130,6 +162,9 @@ func (tx *ClientTx) onResponse(m *Message) {
 		tx.finalSent = true
 	}
 	tx.mu.Unlock()
+	if final {
+		tx.endSpan("final=" + strconv.Itoa(m.StatusCode))
+	}
 	tx.deliver(m)
 	if !final {
 		return

@@ -25,6 +25,7 @@ import (
 
 	"siphoc/internal/clock"
 	"siphoc/internal/netem"
+	"siphoc/internal/obs"
 	"siphoc/internal/routing"
 )
 
@@ -66,6 +67,8 @@ type Config struct {
 	QueryRelayTTL time.Duration
 	// Clock is the time source (default the system clock).
 	Clock clock.Clock
+	// Obs records lookup counters and resolution latency. Nil disables.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -130,6 +133,12 @@ type Agent struct {
 
 	stop chan struct{}
 	wg   sync.WaitGroup
+
+	// Pre-resolved obs handles; all nil when cfg.Obs is nil.
+	obsLookups   *obs.Counter
+	obsCacheHits *obs.Counter
+	obsMisses    *obs.Counter
+	obsDelay     *obs.Histogram
 }
 
 var _ routing.PiggybackHandler = (*Agent)(nil)
@@ -138,7 +147,7 @@ var _ routing.PiggybackHandler = (*Agent)(nil)
 // starting the routing protocol, then Start.
 func NewAgent(host *netem.Host, cfg Config) *Agent {
 	cfg = cfg.withDefaults()
-	return &Agent{
+	a := &Agent{
 		host:     host,
 		cfg:      cfg,
 		clk:      cfg.Clock,
@@ -149,6 +158,13 @@ func NewAgent(host *netem.Host, cfg Config) *Agent {
 		seenQ:    make(map[qkey]time.Time),
 		stop:     make(chan struct{}),
 	}
+	if cfg.Obs.Enabled() {
+		a.obsLookups = cfg.Obs.Counter("slp.lookups")
+		a.obsCacheHits = cfg.Obs.Counter("slp.lookups.cachehits")
+		a.obsMisses = cfg.Obs.Counter("slp.lookups.notfound")
+		a.obsDelay = cfg.Obs.Histogram("slp.lookup.delay", nil)
+	}
+	return a
 }
 
 // AttachRouting loads this agent as the routing-handler plugin of p
@@ -260,10 +276,14 @@ func (a *Agent) Lookup(stype, key string, timeout time.Duration) (Service, error
 	a.mu.Lock()
 	a.stats.Lookups++
 	a.mu.Unlock()
+	a.obsLookups.Inc()
+	lookupStart := a.clk.Now()
 	if svc, ok := a.LookupCached(stype, key); ok {
 		a.mu.Lock()
 		a.stats.CacheHits++
 		a.mu.Unlock()
+		a.obsCacheHits.Inc()
+		a.obsDelay.Observe(a.clk.Now().Sub(lookupStart))
 		return svc, nil
 	}
 	ch, cancel := a.cache.wait(stype, key)
@@ -298,6 +318,7 @@ func (a *Agent) Lookup(stype, key string, timeout time.Duration) (Service, error
 	for {
 		select {
 		case svc := <-ch:
+			a.obsDelay.Observe(a.clk.Now().Sub(lookupStart))
 			return svc, nil
 		case <-refloodC:
 			a.mu.Lock()
@@ -310,6 +331,7 @@ func (a *Agent) Lookup(stype, key string, timeout time.Duration) (Service, error
 			defer t.Stop()
 			refloodC = t.C()
 		case <-deadline.C():
+			a.obsMisses.Inc()
 			return Service{}, fmt.Errorf("lookup %s/%s: %w", stype, key, ErrNotFound)
 		case <-a.stop:
 			return Service{}, fmt.Errorf("lookup %s/%s: agent stopped: %w", stype, key, ErrNotFound)

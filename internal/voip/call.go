@@ -1,11 +1,13 @@
 package voip
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"siphoc/internal/netem"
+	"siphoc/internal/obs"
 	"siphoc/internal/rtp"
 	"siphoc/internal/sdp"
 	"siphoc/internal/sip"
@@ -70,6 +72,11 @@ type Call struct {
 	estOnce     sync.Once
 	ended       chan struct{}
 	endOnce     sync.Once
+
+	// setupSpan is the call.setup anchor span (outgoing calls only); it is
+	// the zero handle when tracing is disabled or the call is incoming.
+	setupSpan obs.SpanHandle
+	spanOnce  sync.Once
 }
 
 // newOutgoingCall allocates media and the dialog state for a call to uri.
@@ -90,6 +97,11 @@ func (p *Phone) newOutgoingCall(uri *sip.URI) (*Call, error) {
 		established:   make(chan struct{}),
 		ended:         make(chan struct{}),
 	}
+	// The call.setup span anchors the trace window: every other span that
+	// overlaps it (SLP resolve, route discovery, SIP legs, gateway attach)
+	// is stitched into this call's timeline.
+	c.setupSpan = p.obs.StartSpan(c.callID, obs.PhaseSetup, string(p.host.ID()))
+	p.obsPlaced.Inc()
 	p.addCall(c)
 	return c, nil
 }
@@ -168,18 +180,76 @@ func (c *Call) setState(s State) {
 }
 
 // WaitEstablished blocks until the call connects, fails, or the timeout
-// elapses.
+// elapses. The timeout runs on the phone's clock (so fake clocks work); it
+// is a thin wrapper over the same wait as WaitEstablishedContext.
 func (c *Call) WaitEstablished(timeout time.Duration) error {
 	timer := c.phone.clk.NewTimer(timeout)
 	defer timer.Stop()
+	return c.waitEstablished(timer.C(), nil, nil)
+}
+
+// WaitEstablishedContext blocks until the call connects, fails, or ctx is
+// cancelled (in which case it returns ctx.Err(); the call itself keeps
+// ringing — pair with DialContext to also abandon it).
+func (c *Call) WaitEstablishedContext(ctx context.Context) error {
+	return c.waitEstablished(nil, ctx.Done(), ctx.Err)
+}
+
+// waitEstablished is the shared wait; nil channels never fire.
+func (c *Call) waitEstablished(timeoutC <-chan time.Time, done <-chan struct{}, doneErr func() error) error {
 	select {
 	case <-c.established:
 		return nil
 	case <-c.ended:
 		return fmt.Errorf("voip: call failed with status %d", c.FailCode())
-	case <-timer.C():
+	case <-timeoutC:
 		return fmt.Errorf("voip: call establishment timed out")
+	case <-done:
+		return doneErr()
 	}
+}
+
+// watchContext abandons a still-ringing outgoing call when ctx is cancelled.
+func (c *Call) watchContext(ctx context.Context) {
+	select {
+	case <-c.established:
+		return
+	case <-c.ended:
+		return
+	case <-ctx.Done():
+	}
+	for {
+		select {
+		case <-c.established:
+			return
+		case <-c.ended:
+			return
+		default:
+		}
+		// Cancel fails while the INVITE is still in flight or once the
+		// call has settled; retry until one or the other holds.
+		if err := c.Cancel(); err == nil {
+			return
+		}
+		timer := c.phone.clk.NewTimer(5 * time.Millisecond)
+		select {
+		case <-c.established:
+			timer.Stop()
+			return
+		case <-c.ended:
+			timer.Stop()
+			return
+		case <-timer.C():
+		}
+	}
+}
+
+// Trace returns the call's observability timeline: the recorded spans
+// (SLP resolve, route discovery, SIP legs, gateway attach, media start)
+// stitched under the call.setup anchor. With observability disabled it
+// returns an empty, non-nil trace.
+func (c *Call) Trace() *obs.CallTrace {
+	return c.phone.obs.Trace(c.callID)
 }
 
 // WaitEnded blocks until the call is torn down or the timeout elapses.
@@ -455,7 +525,25 @@ func (c *Call) confirmEstablished() {
 		c.mu.Lock()
 		c.state = StateEstablished
 		c.establishAt = c.phone.clk.Now()
+		establishAt := c.establishAt
+		media := c.media
 		c.mu.Unlock()
+		c.spanOnce.Do(func() {
+			// End exactly at establishAt so the trace's setup window
+			// matches SetupDuration to the nanosecond.
+			c.setupSpan.EndAt(establishAt, "established")
+		})
+		p := c.phone
+		if c.outgoing {
+			p.obsEstablished.Inc()
+			p.obsSetupDelay.Observe(c.SetupDuration())
+		}
+		if p.obs.Enabled() && media != nil {
+			span := p.obs.StartSpan(c.callID, obs.PhaseMediaStart, string(p.host.ID()))
+			media.OnFirstRecv(func(t time.Time) {
+				span.EndAt(t, "first rtp packet")
+			})
+		}
 		close(c.established)
 	})
 }
@@ -463,6 +551,12 @@ func (c *Call) confirmEstablished() {
 // endLocal finishes the call from this side; code != 0 marks failure.
 func (c *Call) endLocal(code int) {
 	c.endOnce.Do(func() {
+		c.spanOnce.Do(func() {
+			c.setupSpan.End(fmt.Sprintf("failed status=%d", code))
+		})
+		if c.outgoing && code != 0 {
+			c.phone.obsFailed.Inc()
+		}
 		c.mu.Lock()
 		if code != 0 {
 			c.state = StateFailed

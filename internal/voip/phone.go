@@ -7,12 +7,14 @@
 package voip
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"siphoc/internal/clock"
 	"siphoc/internal/netem"
+	"siphoc/internal/obs"
 	"siphoc/internal/sip"
 )
 
@@ -46,6 +48,10 @@ type Config struct {
 	SIP sip.Config
 	// Clock is the time source (default the system clock).
 	Clock clock.Clock
+	// Obs records the call-setup anchor span, the media-start span and
+	// call counters; it is also propagated to the embedded SIP stack
+	// unless SIP.Obs is already set. Nil disables.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -61,6 +67,9 @@ func (c Config) withDefaults() Config {
 	if c.Clock == nil {
 		c.Clock = clock.New()
 	}
+	if c.SIP.Obs == nil {
+		c.SIP.Obs = c.Obs
+	}
 	return c
 }
 
@@ -69,6 +78,13 @@ type Phone struct {
 	host *netem.Host
 	cfg  Config
 	clk  clock.Clock
+	obs  *obs.Observer
+
+	// Pre-resolved obs handles; nil when cfg.Obs is nil.
+	obsPlaced      *obs.Counter
+	obsEstablished *obs.Counter
+	obsFailed      *obs.Counter
+	obsSetupDelay  *obs.Histogram
 
 	stack *sip.Stack
 
@@ -85,13 +101,21 @@ type Phone struct {
 // New creates a phone on host with the given account configuration.
 func New(host *netem.Host, cfg Config) *Phone {
 	cfg = cfg.withDefaults()
-	return &Phone{
+	p := &Phone{
 		host:     host,
 		cfg:      cfg,
 		clk:      cfg.Clock,
+		obs:      cfg.Obs,
 		calls:    make(map[string]*Call),
 		incoming: make(chan *Call, 8),
 	}
+	if p.obs.Enabled() {
+		p.obsPlaced = p.obs.Counter("voip.calls.placed")
+		p.obsEstablished = p.obs.Counter("voip.calls.established")
+		p.obsFailed = p.obs.Counter("voip.calls.failed")
+		p.obsSetupDelay = p.obs.Histogram("voip.setup.delay", nil)
+	}
+	return p
 }
 
 // AOR returns the phone's address of record, e.g. "alice@voicehoc.ch".
@@ -219,8 +243,17 @@ func (p *Phone) register(expires int) error {
 }
 
 // Dial places a call to target (an AOR like "bob@voicehoc.ch" or a full SIP
-// URI) and returns immediately; use Call.WaitEstablished.
+// URI) and returns immediately; use Call.WaitEstablished. It is DialContext
+// with a background context.
 func (p *Phone) Dial(target string) (*Call, error) {
+	return p.DialContext(context.Background(), target)
+}
+
+// DialContext places a call like Dial; additionally, cancelling ctx while
+// the call is still being set up abandons it with CANCEL (the call then
+// concludes with 487 Request Terminated). Cancelling ctx after the call is
+// established has no effect.
+func (p *Phone) DialContext(ctx context.Context, target string) (*Call, error) {
 	uri, err := parseTarget(target)
 	if err != nil {
 		return nil, err
@@ -234,6 +267,13 @@ func (p *Phone) Dial(target string) (*Call, error) {
 		defer p.wg.Done()
 		c.runOutgoing()
 	}()
+	if ctx.Done() != nil {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			c.watchContext(ctx)
+		}()
+	}
 	return c, nil
 }
 

@@ -1,0 +1,89 @@
+package siphoc
+
+// Metrics is the merged observability snapshot of a whole scenario: one call
+// replaces the scattered per-component Stats() accessors. The per-node maps
+// are keyed by node ID; nodes without the component are absent from the map.
+type Metrics struct {
+	// Network counts traffic on the radio medium by frame class.
+	Network NetworkStats
+	// Proxies holds each node's SIPHoc proxy counters.
+	Proxies map[NodeID]ProxyStats
+	// Gateways holds each gateway node's Gateway Provider counters.
+	Gateways map[NodeID]GatewayStats
+	// ConnProviders holds each node's Connection Provider counters.
+	ConnProviders map[NodeID]ConnStats
+	// SLP holds each node's MANET SLP agent counters.
+	SLP map[NodeID]SLPStats
+	// Registry is the scenario-wide metrics registry (named counters,
+	// gauges and latency histograms recorded by the instrumentation
+	// hooks). Zero when the scenario was built with NoObservability.
+	Registry RegistrySnapshot
+}
+
+// Metrics captures the merged snapshot of every node's components plus the
+// shared metrics registry. Safe to call concurrently with live traffic: all
+// underlying counters are atomics.
+func (s *Scenario) Metrics() Metrics {
+	m := Metrics{
+		Network:       s.net.Stats(),
+		Proxies:       make(map[NodeID]ProxyStats),
+		Gateways:      make(map[NodeID]GatewayStats),
+		ConnProviders: make(map[NodeID]ConnStats),
+		SLP:           make(map[NodeID]SLPStats),
+		Registry:      s.obs.Snapshot(),
+	}
+	for _, n := range s.Nodes() {
+		id := n.ID()
+		if p := n.Proxy(); p != nil {
+			m.Proxies[id] = p.Stats()
+		}
+		if g := n.Gateway(); g != nil {
+			m.Gateways[id] = g.Stats()
+		}
+		if c := n.ConnectionProvider(); c != nil {
+			m.ConnProviders[id] = c.Stats()
+		}
+		if a := n.SLP(); a != nil {
+			m.SLP[id] = a.Stats()
+		}
+	}
+	return m
+}
+
+// NetworkStats returns the radio medium counters.
+//
+// Deprecated: use Scenario.Metrics().Network; kept as a shim for callers of
+// the pre-observability API.
+func (s *Scenario) NetworkStats() NetworkStats { return s.net.Stats() }
+
+// ProxyStats returns the node's SIPHoc proxy counters.
+//
+// Deprecated: use Scenario.Metrics().Proxies[n.ID()].
+func (n *Node) ProxyStats() ProxyStats { return n.proxy.Stats() }
+
+// GatewayStats returns the node's Gateway Provider counters (the zero value
+// for non-gateway nodes).
+//
+// Deprecated: use Scenario.Metrics().Gateways[n.ID()].
+func (n *Node) GatewayStats() GatewayStats {
+	if n.gateway == nil {
+		return GatewayStats{}
+	}
+	return n.gateway.Stats()
+}
+
+// ConnStats returns the node's Connection Provider counters (the zero value
+// on gateways and nodes without one).
+//
+// Deprecated: use Scenario.Metrics().ConnProviders[n.ID()].
+func (n *Node) ConnStats() ConnStats {
+	if n.connp == nil {
+		return ConnStats{}
+	}
+	return n.connp.Stats()
+}
+
+// SLPStats returns the node's MANET SLP agent counters.
+//
+// Deprecated: use Scenario.Metrics().SLP[n.ID()].
+func (n *Node) SLPStats() SLPStats { return n.agent.Stats() }

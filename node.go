@@ -82,6 +82,9 @@ func (s *Scenario) newNode(id NodeID, pos Position, opts ...NodeOption) (*Node, 
 			slpCfg.Clock = s.clk
 		}
 	}
+	if slpCfg.Obs == nil {
+		slpCfg.Obs = s.obs
+	}
 	n.agent = slp.NewAgent(host, slpCfg)
 
 	// Routing protocol with the SLP plugin attached before start.
@@ -89,11 +92,13 @@ func (s *Scenario) newNode(id NodeID, pos Position, opts ...NodeOption) (*Node, 
 	case RoutingAODV:
 		cfg := aodv.SimConfig()
 		cfg.Clock = s.clk
+		cfg.Obs = s.obs
 		cfg = scaleAODV(cfg, s.cfg.TimeScale)
 		n.routing = aodv.New(host, cfg)
 	case RoutingOLSR:
 		cfg := olsr.SimConfig()
 		cfg.Clock = s.clk
+		cfg.Obs = s.obs
 		cfg = scaleOLSR(cfg, s.cfg.TimeScale)
 		n.routing = olsr.New(host, cfg)
 	default:
@@ -112,7 +117,7 @@ func (s *Scenario) newNode(id NodeID, pos Position, opts ...NodeOption) (*Node, 
 
 	// Gateway Provider on Internet-connected nodes.
 	if o.gateway {
-		n.gateway = core.NewGatewayProvider(host, s.inet, n.agent, core.GatewayConfig{Clock: s.clk})
+		n.gateway = core.NewGatewayProvider(host, s.inet, n.agent, core.GatewayConfig{Clock: s.clk, Obs: s.obs})
 		if err := n.gateway.Start(); err != nil {
 			cleanup()
 			return nil, err
@@ -123,6 +128,7 @@ func (s *Scenario) newNode(id NodeID, pos Position, opts ...NodeOption) (*Node, 
 	if !o.noConnPrvdr && !o.gateway {
 		n.connp = core.NewConnectionProvider(host, n.agent, core.ConnProviderConfig{
 			Clock:         s.clk,
+			Obs:           s.obs,
 			ProbeInterval: scaleDur(250*time.Millisecond, s.cfg.TimeScale),
 			LookupTimeout: scaleDur(200*time.Millisecond, s.cfg.TimeScale),
 			AckTimeout:    scaleDur(time.Second, s.cfg.TimeScale),
@@ -139,6 +145,7 @@ func (s *Scenario) newNode(id NodeID, pos Position, opts ...NodeOption) (*Node, 
 	n.proxy = core.NewProxy(host, n.agent, n.connp, core.ProxyConfig{
 		SIP:        sipCfg,
 		Clock:      s.clk,
+		Obs:        s.obs,
 		SLPTimeout: scaleDur(2*time.Second, s.cfg.TimeScale),
 	})
 	if err := n.proxy.Start(); err != nil {
@@ -234,6 +241,9 @@ func (n *Node) NewPhoneWith(cfg PhoneConfig) (*Phone, error) {
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = n.scenario.clk
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = n.scenario.obs
 	}
 	ph := voip.New(n.host, cfg)
 	if err := ph.Start(); err != nil {

@@ -1,0 +1,256 @@
+package siphoc
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func hasPhase(tr *CallTrace, phase string) bool {
+	for _, sp := range tr.Spans {
+		if sp.Phase == phase {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCallTraceThreeHop is the trace-integrity check of the observability
+// layer: a call across a 3-hop chain must yield a timeline with at least four
+// distinct phases whose setup breakdown tiles the setup window exactly and
+// agrees with the latency the caller observed via WaitEstablished.
+func TestCallTraceThreeHop(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		kind RoutingKind
+	}{
+		{"AODV", RoutingAODV},
+		{"OLSR", RoutingOLSR},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sc, nodes := newChainScenario(t, 3, ScenarioConfig{Routing: tc.kind})
+			if sc.Observer() == nil {
+				t.Fatal("observability should be enabled by default")
+			}
+			alice := registerPhone(t, nodes[0], "alice")
+			registerPhone(t, nodes[2], "bob")
+
+			call, err := alice.Dial("bob@" + domain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := call.WaitEstablished(callTimeout); err != nil {
+				t.Fatal(err)
+			}
+			// Stream a little voice so the callee's media.start span (ended
+			// by the first received RTP packet) closes, then poll the trace
+			// until it shows up.
+			call.SendVoice(5)
+			var tr *CallTrace
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				tr = call.Trace()
+				if hasPhase(tr, PhaseMediaStart) || time.Now().After(deadline) {
+					break
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+
+			if tr.Empty() {
+				t.Fatal("trace is empty")
+			}
+			for _, phase := range []string{PhaseSetup, PhaseSLPResolve, PhaseSIPLeg, PhaseMediaStart} {
+				if !hasPhase(tr, phase) {
+					t.Errorf("trace is missing a %s span:\n%s", phase, tr)
+				}
+			}
+			distinct := make(map[string]bool)
+			for _, sp := range tr.Spans {
+				distinct[sp.Phase] = true
+				if sp.Duration() <= 0 {
+					t.Errorf("span %s on %s has non-positive duration %v", sp.Phase, sp.Node, sp.Duration())
+				}
+			}
+			if len(distinct) < 4 {
+				t.Errorf("trace has %d distinct phases, want >= 4:\n%s", len(distinct), tr)
+			}
+
+			// Sum consistency: the breakdown tiles the setup window exactly,
+			// and the window matches the caller-observed setup latency.
+			breakdown := tr.SetupBreakdown()
+			var sum time.Duration
+			seen := make(map[string]time.Duration)
+			for _, pd := range breakdown {
+				sum += pd.Duration
+				seen[pd.Phase] = pd.Duration
+			}
+			if sum != tr.SetupDuration() {
+				t.Errorf("breakdown sums to %v, setup window is %v", sum, tr.SetupDuration())
+			}
+			if seen[PhaseSLPResolve] <= 0 {
+				t.Errorf("breakdown has no %s share: %v", PhaseSLPResolve, breakdown)
+			}
+			if seen[PhaseSIPTransaction] <= 0 {
+				t.Errorf("breakdown has no %s share: %v", PhaseSIPTransaction, breakdown)
+			}
+			const jitter = 20 * time.Millisecond
+			if d := tr.SetupDuration() - call.SetupDuration(); d > jitter || d < -jitter {
+				t.Errorf("trace setup %v vs observed setup %v (|delta| > %v)",
+					tr.SetupDuration(), call.SetupDuration(), jitter)
+			}
+
+			if err := call.Hangup(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestMetricsAndDeprecatedShims checks that the merged Metrics snapshot and
+// the deprecated per-component accessors report identical values, and that
+// the instrumentation counters actually moved during a call.
+func TestMetricsAndDeprecatedShims(t *testing.T) {
+	sc, nodes := newChainScenario(t, 2, ScenarioConfig{})
+	alice := registerPhone(t, nodes[0], "alice")
+	registerPhone(t, nodes[1], "bob")
+
+	call, err := alice.Dial("bob@" + domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := call.WaitEstablished(callTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if err := call.Hangup(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Close first so every counter is frozen and equality is exact.
+	sc.Close()
+	m := sc.Metrics()
+
+	if got, want := m.Network, sc.NetworkStats(); got != want {
+		t.Errorf("Metrics().Network = %+v, NetworkStats() = %+v", got, want)
+	}
+	for _, n := range nodes {
+		id := n.ID()
+		if got, want := m.Proxies[id], n.ProxyStats(); got != want {
+			t.Errorf("node %s: Metrics().Proxies = %+v, ProxyStats() = %+v", id, got, want)
+		}
+		if got, want := m.Gateways[id], n.GatewayStats(); got != want {
+			t.Errorf("node %s: Metrics().Gateways = %+v, GatewayStats() = %+v", id, got, want)
+		}
+		if got, want := m.ConnProviders[id], n.ConnStats(); got != want {
+			t.Errorf("node %s: Metrics().ConnProviders = %+v, ConnStats() = %+v", id, got, want)
+		}
+		if got, want := m.SLP[id], n.SLPStats(); got != want {
+			t.Errorf("node %s: Metrics().SLP = %+v, SLPStats() = %+v", id, got, want)
+		}
+	}
+
+	for _, counter := range []string{"voip.calls.placed", "voip.calls.established", "sip.tx.invites", "netem.frames"} {
+		if m.Registry.Counters[counter] < 1 {
+			t.Errorf("registry counter %q = %d, want >= 1", counter, m.Registry.Counters[counter])
+		}
+	}
+	if m.Registry.Histograms["voip.setup.delay"].Count < 1 {
+		t.Error("voip.setup.delay histogram never observed a sample")
+	}
+
+	// The proxy on alice's node handled her REGISTER and routed her INVITE.
+	if p := m.Proxies[nodes[0].ID()]; p.Registers < 1 || p.RequestsRouted < 1 {
+		t.Errorf("proxy on %s barely worked: %+v", nodes[0].ID(), p)
+	}
+}
+
+// TestMetricsConcurrentWithTraffic hammers the snapshot path while a call is
+// live; run with -race this is the audit that Stats() never copies mutating
+// state.
+func TestMetricsConcurrentWithTraffic(t *testing.T) {
+	sc, nodes := newChainScenario(t, 3, ScenarioConfig{})
+	alice := registerPhone(t, nodes[0], "alice")
+	registerPhone(t, nodes[2], "bob")
+
+	call, err := alice.Dial("bob@" + domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := call.WaitEstablished(callTimeout); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for range 4 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = sc.Metrics()
+				_ = call.Trace()
+			}
+		}()
+	}
+	call.SendVoice(10)
+	close(stop)
+	wg.Wait()
+	if err := call.Hangup(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDialContextCancelAbandonsSetup cancels the dial context while the
+// callee is still ringing and expects the call to conclude with 487.
+func TestDialContextCancelAbandonsSetup(t *testing.T) {
+	_, nodes := newChainScenario(t, 2, ScenarioConfig{})
+	alice := registerPhone(t, nodes[0], "alice")
+	bob, err := nodes[1].NewPhoneWith(PhoneConfig{User: "bob", Domain: domain, NoAutoAnswer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regErr error
+	for range 5 {
+		if regErr = bob.Register(); regErr == nil {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if regErr != nil {
+		t.Fatalf("register bob: %v", regErr)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	call, err := alice.DialContext(ctx, "bob@"+domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until bob is actually ringing.
+	select {
+	case <-bob.Incoming():
+	case <-time.After(callTimeout):
+		t.Fatal("callee never rang")
+	}
+
+	// A context-bound wait on a still-ringing call returns the ctx error.
+	wctx, wcancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer wcancel()
+	if err := call.WaitEstablishedContext(wctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("WaitEstablishedContext = %v, want deadline exceeded", err)
+	}
+
+	cancel()
+	if err := call.WaitEnded(callTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if call.State() != CallFailed || call.FailCode() != 487 {
+		t.Errorf("call state %v code %d, want failed/487", call.State(), call.FailCode())
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"siphoc/internal/clock"
 	"siphoc/internal/internet"
 	"siphoc/internal/netem"
+	"siphoc/internal/obs"
 	"siphoc/internal/slp"
 )
 
@@ -55,6 +56,11 @@ type ScenarioConfig struct {
 	TimeScale float64
 	// Clock is the time source (default the system clock).
 	Clock clock.Clock
+	// NoObservability disables the scenario-wide metrics registry and call
+	// tracer (kept separate so the zero value of ScenarioConfig observes;
+	// disable for overhead-sensitive benchmarks). See Scenario.Observer,
+	// Scenario.Metrics and Call.Trace.
+	NoObservability bool
 }
 
 func (c ScenarioConfig) withDefaults() ScenarioConfig {
@@ -78,6 +84,7 @@ func (c ScenarioConfig) withDefaults() ScenarioConfig {
 type Scenario struct {
 	cfg ScenarioConfig
 	clk clock.Clock
+	obs *obs.Observer // nil when NoObservability
 
 	net  *netem.Network
 	inet *internet.Internet
@@ -96,9 +103,17 @@ func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
 	if radio.Clock == nil {
 		radio.Clock = cfg.Clock
 	}
+	var observer *obs.Observer
+	if !cfg.NoObservability {
+		observer = obs.New(cfg.Clock)
+	}
+	if radio.Obs == nil {
+		radio.Obs = observer
+	}
 	s := &Scenario{
 		cfg:   cfg,
 		clk:   cfg.Clock,
+		obs:   observer,
 		net:   netem.NewNetwork(radio),
 		nodes: make(map[netem.NodeID]*Node),
 	}
@@ -110,6 +125,12 @@ func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
 
 // Network exposes the MANET medium (stats, topology control, mobility).
 func (s *Scenario) Network() *netem.Network { return s.net }
+
+// Observer returns the scenario-wide observability handle shared by every
+// node's components: the metrics registry and the call tracer. It is nil
+// when the scenario was created with NoObservability — and a nil Observer
+// is itself valid (every method no-ops), so callers never need to check.
+func (s *Scenario) Observer() *Observer { return s.obs }
 
 // Internet exposes the simulated Internet, or nil.
 func (s *Scenario) Internet() *internet.Internet { return s.inet }

@@ -37,6 +37,7 @@ import (
 	"siphoc/internal/core"
 	"siphoc/internal/internet"
 	"siphoc/internal/netem"
+	"siphoc/internal/obs"
 	"siphoc/internal/rtp"
 	"siphoc/internal/sip"
 	"siphoc/internal/slp"
@@ -70,6 +71,38 @@ type (
 	NetworkStats = netem.Stats
 	// ProxyStats counts SIPHoc proxy activity.
 	ProxyStats = core.ProxyStats
+	// GatewayStats counts Gateway Provider activity (tunnels, frames).
+	GatewayStats = core.GatewayStats
+	// ConnStats counts Connection Provider activity (attaches, frames).
+	ConnStats = core.ConnStats
+	// SLPStats counts MANET SLP agent activity (lookups, cache hits).
+	SLPStats = slp.AgentStats
+
+	// Observer is the scenario-wide observability handle: the metrics
+	// registry plus the call tracer. A nil *Observer is the disabled mode
+	// (every method no-ops).
+	Observer = obs.Observer
+	// CallTrace is one call's stitched span timeline; see Call.Trace.
+	CallTrace = obs.CallTrace
+	// Span is one timed phase inside a call trace.
+	Span = obs.Span
+	// PhaseDuration is one row of a trace's setup-delay breakdown.
+	PhaseDuration = obs.PhaseDuration
+	// RegistrySnapshot is a point-in-time copy of the metrics registry.
+	RegistrySnapshot = obs.RegistrySnapshot
+	// HistogramSnapshot is a latency histogram copy inside a snapshot.
+	HistogramSnapshot = obs.HistogramSnapshot
+)
+
+// Trace phase names, as they appear in CallTrace spans and breakdowns.
+const (
+	PhaseSetup          = obs.PhaseSetup
+	PhaseSLPResolve     = obs.PhaseSLPResolve
+	PhaseRouteDiscovery = obs.PhaseRouteDiscovery
+	PhaseGatewayAttach  = obs.PhaseGatewayAttach
+	PhaseSIPTransaction = obs.PhaseSIPTransaction
+	PhaseSIPLeg         = obs.PhaseSIPLeg
+	PhaseMediaStart     = obs.PhaseMediaStart
 )
 
 // Call and phone state constants re-exported for switch statements.
