@@ -22,10 +22,12 @@ cover:
 # Pre-merge gate: static analysis plus the full test suite under the race
 # detector. Run before every merge (see README.md "Development"). The
 # observability trace/metrics tests run first as a fast-fail gate: they are
-# the ones most sensitive to stats races.
+# the ones most sensitive to stats races; the rtp media plane follows because
+# the shared pacer is the most write-contended path in the system.
 check:
 	$(GO) vet ./...
 	$(GO) test -race -run 'TestCallTrace|TestMetrics|TestDialContext' .
+	$(GO) test -race ./internal/rtp/
 	$(GO) test -race ./...
 
 # Hot-path benchmark snapshots, committed as JSON so regressions show up in
@@ -34,6 +36,7 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/netem/ | $(GO) run ./cmd/benchjson > BENCH_netem.json
 	$(GO) test -run '^$$' -bench 'SIP' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_sip.json
 	$(GO) test -run '^$$' -bench 'ObsOverhead' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_obs.json
+	$(GO) test -run '^$$' -bench 'VoiceFrame|PacketParse|MediaScale' -benchmem ./internal/rtp/ | $(GO) run ./cmd/benchjson > BENCH_rtp.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...

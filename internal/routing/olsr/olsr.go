@@ -126,6 +126,11 @@ type Protocol struct {
 	pb        routing.PiggybackHandler
 	stats     Stats
 	started   bool
+	// recomputeHold marks the coalescing hold-down window after a
+	// recompute; recomputeQueued marks arrivals during the window that
+	// still need one trailing recompute.
+	recomputeHold   bool
+	recomputeQueued bool
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -368,7 +373,7 @@ func (p *Protocol) onHello(from netem.NodeID, m *Hello) {
 	}
 	p.twoHop[from] = set
 	p.mu.Unlock()
-	p.recompute()
+	p.scheduleRecompute()
 }
 
 func (p *Protocol) onTC(from netem.NodeID, m *TC) {
@@ -405,7 +410,7 @@ func (p *Protocol) onTC(from netem.NodeID, m *TC) {
 	// Default forwarding: retransmit only if the sender selected us as MPR.
 	_, isSelector := p.selectors[from]
 	p.mu.Unlock()
-	p.recompute()
+	p.scheduleRecompute()
 
 	if isSelector && m.TTL > 1 {
 		fwd := *m
@@ -514,6 +519,52 @@ func (p *Protocol) expire() {
 	if changed {
 		p.recompute()
 	}
+}
+
+// scheduleRecompute coalesces route recomputation: a full greedy-MPR +
+// route rebuild used to run on every single HELLO/TC arrival, which is
+// O(messages) work per interval in dense networks. The first arrival still
+// recomputes immediately (no added convergence latency), then opens a
+// hold-down window of half a HELLO interval; arrivals during the window are
+// folded into one trailing recompute when it closes. Steady-state recompute
+// rate is therefore bounded per interval regardless of neighbour count.
+func (p *Protocol) scheduleRecompute() {
+	p.mu.Lock()
+	if !p.started {
+		p.mu.Unlock()
+		return
+	}
+	if p.recomputeHold {
+		p.recomputeQueued = true
+		p.mu.Unlock()
+		return
+	}
+	p.recomputeHold = true
+	p.wg.Add(1)
+	p.mu.Unlock()
+	p.recompute()
+	go func() {
+		defer p.wg.Done()
+		for {
+			timer := p.clk.NewTimer(p.cfg.HelloInterval / 2)
+			select {
+			case <-p.stop:
+				timer.Stop()
+				return
+			case <-timer.C():
+			}
+			p.mu.Lock()
+			queued := p.recomputeQueued
+			p.recomputeQueued = false
+			if !queued {
+				p.recomputeHold = false
+				p.mu.Unlock()
+				return
+			}
+			p.mu.Unlock()
+			p.recompute()
+		}
+	}()
 }
 
 // recompute reselects MPRs and rebuilds the route table (greedy MPR cover +

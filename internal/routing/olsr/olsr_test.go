@@ -225,6 +225,60 @@ func TestTopologyExpiresAfterNodeDeath(t *testing.T) {
 	t.Fatal("route to dead node never expired")
 }
 
+// TestRecomputeCoalescing runs a dense clique where every node hears every
+// HELLO/TC: the hold-down coalescing must keep each node's recompute rate
+// bounded per interval (instead of one full MPR+route rebuild per arriving
+// message) while routes still converge to the 1-hop clique.
+func TestRecomputeCoalescing(t *testing.T) {
+	net := netem.NewNetwork(netem.Config{BaseDelay: 100 * time.Microsecond})
+	defer net.Close()
+	const n = 8
+	hosts := make([]*netem.Host, n)
+	protos := make([]*Protocol, n)
+	for i := range n {
+		h, err := net.AddHost(netem.NodeName("c", i+1), netem.Position{X: float64(i) * 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts[i] = h
+		protos[i] = New(h, SimConfig())
+		if err := protos[i].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer func() {
+		for _, p := range protos {
+			p.Stop()
+		}
+	}()
+	for _, other := range hosts[1:] {
+		if nh := waitForRoute(t, protos[0], other.ID(), 10*time.Second); nh != other.ID() {
+			t.Fatalf("clique route to %s via %s, want direct", other.ID(), nh)
+		}
+	}
+	before := make([]Stats, n)
+	for i, p := range protos {
+		before[i] = p.Stats()
+	}
+	time.Sleep(800 * time.Millisecond)
+	// Node 0 hears every control message the others broadcast; without
+	// coalescing it would recompute once per arrival.
+	var arrivals int64
+	for i := 1; i < n; i++ {
+		d := protos[i].Stats()
+		arrivals += d.HelloSent - before[i].HelloSent
+		arrivals += d.TCSent - before[i].TCSent
+		arrivals += d.TCFwd - before[i].TCFwd
+	}
+	rec := protos[0].Stats().Recompute - before[0].Recompute
+	if rec == 0 {
+		t.Fatal("no recomputes while control traffic kept arriving")
+	}
+	if rec*2 > arrivals {
+		t.Fatalf("recompute not coalesced: %d recomputes for ~%d control-message arrivals", rec, arrivals)
+	}
+}
+
 func TestGridShortestPaths(t *testing.T) {
 	net := netem.NewNetwork(netem.Config{BaseDelay: 100 * time.Microsecond})
 	defer net.Close()

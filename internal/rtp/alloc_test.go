@@ -1,0 +1,104 @@
+package rtp
+
+import (
+	"testing"
+	"time"
+)
+
+// TestZeroAllocSendPath pins the steady-state per-frame cost of the pacer's
+// send path — synthesize the payload, fill the header, encode to the wire —
+// at zero allocations once the per-stream scratch buffers exist.
+func TestZeroAllocSendPath(t *testing.T) {
+	payload := make([]byte, 0, PayloadBytes)
+	wire := make([]byte, 0, headerLen+PayloadBytes)
+	var pkt Packet
+	sentAt := time.Unix(1000, 0)
+	i := uint32(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		payload = AppendVoicePayload(payload[:0], i, sentAt)
+		pkt = Packet{
+			PayloadType: PayloadTypePCMU,
+			Seq:         uint16(i),
+			Timestamp:   i * SamplesPerFrame,
+			SSRC:        7,
+			Payload:     payload,
+		}
+		wire = pkt.AppendTo(wire[:0])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("send path allocates %.1f/frame, want 0", allocs)
+	}
+}
+
+// TestZeroAllocParse pins the zero-copy decode at zero allocations: the
+// payload borrows the wire buffer instead of copying.
+func TestZeroAllocParse(t *testing.T) {
+	wire := NewVoiceFrame(7, 3, time.Unix(1000, 0)).Marshal()
+	var pkt Packet
+	var parseErr error
+	allocs := testing.AllocsPerRun(1000, func() {
+		parseErr = ParseInto(&pkt, wire)
+	})
+	if parseErr != nil {
+		t.Fatal(parseErr)
+	}
+	if allocs != 0 {
+		t.Fatalf("ParseInto allocates %.1f/frame, want 0", allocs)
+	}
+	if len(pkt.Payload) != PayloadBytes {
+		t.Fatalf("payload = %d bytes, want %d", len(pkt.Payload), PayloadBytes)
+	}
+	if &pkt.Payload[0] != &wire[headerLen] {
+		t.Fatal("ParseInto copied the payload instead of borrowing the buffer")
+	}
+}
+
+// TestZeroAllocReceiveSteadyState pins the in-order receive hot path —
+// zero-copy parse, Receiver.Observe, jitter-buffer Put + FlushDue — at zero
+// steady-state allocations (the map and deadline heap reach a stable size
+// once playout keeps up with arrivals).
+func TestZeroAllocReceiveSteadyState(t *testing.T) {
+	var recv Receiver
+	jb := NewJitterBuffer(40 * time.Millisecond)
+	base := time.Unix(1000, 0)
+	wire := make([]byte, 0, headerLen+PayloadBytes)
+	payload := make([]byte, 0, PayloadBytes)
+	seq := uint32(0)
+	feed := func() {
+		now := base.Add(time.Duration(seq) * FrameDuration)
+		payload = AppendVoicePayload(payload[:0], seq, now)
+		p := Packet{PayloadType: PayloadTypePCMU, Seq: uint16(seq), Timestamp: seq * SamplesPerFrame, SSRC: 7, Payload: payload}
+		wire = p.AppendTo(wire[:0])
+		var pkt Packet
+		if err := ParseInto(&pkt, wire); err != nil {
+			panic(err)
+		}
+		recv.Observe(&pkt, now)
+		jb.Put(&pkt, now)
+		jb.FlushDue(now)
+		seq++
+	}
+	// Warm up until the buffer footprint is stable, then measure.
+	for range 256 {
+		feed()
+	}
+	allocs := testing.AllocsPerRun(1000, feed)
+	if allocs != 0 {
+		t.Fatalf("receive path allocates %.1f/frame steady-state, want 0", allocs)
+	}
+}
+
+// TestParseStillCopies guards the compat contract of the allocating Parse:
+// its result must stay valid after the wire buffer is reused.
+func TestParseStillCopies(t *testing.T) {
+	wire := NewVoiceFrame(9, 1, time.Unix(1000, 0)).Marshal()
+	pkt, err := Parse(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire[headerLen] ^= 0xff
+	if sent, ok := pkt.SentAt(); !ok || !sent.Equal(time.Unix(1000, 0)) {
+		t.Fatal("Parse payload aliases the wire buffer; it must copy")
+	}
+}

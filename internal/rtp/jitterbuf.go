@@ -9,12 +9,17 @@ import (
 // jitter and reordering. Packets arriving after their playout deadline are
 // counted late and dropped, matching what a softphone's audio path does.
 //
-// Usage: Put every received packet, then call PopDue(now) at the playout
-// cadence; it returns the frames whose deadline has passed, in order.
+// Usage: Put every received packet, then call PopDue(now) (or FlushDue on
+// hot paths) at the playout cadence; due frames are released in order.
 type JitterBuffer struct {
 	delay time.Duration
-	// buf holds pending packets keyed by sequence number.
+	// buf holds pending packets by value, keyed by sequence number.
 	buf map[uint16]bufEntry
+	// deadlines is a min-heap over buffered frames' playout deadlines with
+	// lazy deletion: popped/overwritten frames leave stale items behind that
+	// are pruned when they reach the top. Its minimum answers "is any
+	// buffered frame overdue" in O(1) instead of a full map scan per pop.
+	deadlines deadlineHeap
 	// next is the next sequence number owed to the player.
 	next    uint16
 	started bool
@@ -27,8 +32,56 @@ type JitterBuffer struct {
 }
 
 type bufEntry struct {
-	pkt      *Packet
+	pkt      Packet
 	deadline time.Time
+}
+
+type deadlineItem struct {
+	deadline time.Time
+	seq      uint16
+}
+
+// deadlineHeap is a hand-rolled min-heap on the typed slice: container/heap
+// would box every pushed item into an interface, costing one allocation per
+// received frame on the hot path.
+type deadlineHeap []deadlineItem
+
+func (j *JitterBuffer) heapPush(it deadlineItem) {
+	h := append(j.deadlines, it)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].deadline.Before(h[parent].deadline) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	j.deadlines = h
+}
+
+func (j *JitterBuffer) heapPop() {
+	h := j.deadlines
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h[l].deadline.Before(h[min].deadline) {
+			min = l
+		}
+		if r < n && h[r].deadline.Before(h[min].deadline) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	j.deadlines = h
 }
 
 // DefaultPlayoutDelay is a typical interactive-voice playout buffer depth.
@@ -46,7 +99,9 @@ func NewJitterBuffer(delay time.Duration) *JitterBuffer {
 	}
 }
 
-// Put inserts a received packet. now is the arrival time.
+// Put inserts a received packet. now is the arrival time. The packet is
+// copied by value; the caller may not mutate pkt.Payload afterwards (the
+// zero-copy receive path hands each frame's datagram buffer over here).
 func (j *JitterBuffer) Put(pkt *Packet, now time.Time) {
 	if !j.started {
 		j.started = true
@@ -63,17 +118,31 @@ func (j *JitterBuffer) Put(pkt *Packet, now time.Time) {
 			return
 		}
 	}
-	j.buf[pkt.Seq] = bufEntry{pkt: pkt, deadline: now.Add(j.delay)}
+	deadline := now.Add(j.delay)
+	j.buf[pkt.Seq] = bufEntry{pkt: *pkt, deadline: deadline}
+	j.heapPush(deadlineItem{deadline: deadline, seq: pkt.Seq})
 }
 
 // PopDue returns, in sequence order, every frame whose playout deadline has
 // passed. Gaps whose deadline passed without the packet arriving are skipped
 // and counted missing (a player would insert comfort noise there).
 func (j *JitterBuffer) PopDue(now time.Time) []*Packet {
-	if !j.started {
-		return nil
-	}
 	var out []*Packet
+	j.advance(now, &out)
+	return out
+}
+
+// FlushDue plays every due frame like PopDue but only returns the count,
+// avoiding any materialization of the frames — the session hot path.
+func (j *JitterBuffer) FlushDue(now time.Time) int {
+	return j.advance(now, nil)
+}
+
+func (j *JitterBuffer) advance(now time.Time, out *[]*Packet) int {
+	if !j.started {
+		return 0
+	}
+	n := 0
 	for {
 		e, ok := j.buf[j.next]
 		if ok {
@@ -81,7 +150,11 @@ func (j *JitterBuffer) PopDue(now time.Time) []*Packet {
 				break // present but not due yet
 			}
 			delete(j.buf, j.next)
-			out = append(out, e.pkt)
+			if out != nil {
+				pkt := e.pkt
+				*out = append(*out, &pkt)
+			}
+			n++
 			j.played++
 			j.next++
 			continue
@@ -94,18 +167,37 @@ func (j *JitterBuffer) PopDue(now time.Time) []*Packet {
 		j.missing++
 		j.next++
 	}
-	return out
+	if n > 0 {
+		// Popped frames left stale items behind; in-order traffic never
+		// reaches laterFrameOverdue, so prune here to keep the heap bounded
+		// by the number of buffered frames.
+		j.pruneStale()
+	}
+	return n
+}
+
+// pruneStale pops heap items that no longer correspond to a buffered frame
+// (their frame was played, dropped, or overwritten by a duplicate).
+func (j *JitterBuffer) pruneStale() {
+	for len(j.deadlines) > 0 {
+		top := j.deadlines[0]
+		if e, ok := j.buf[top.seq]; ok && e.deadline.Equal(top.deadline) {
+			return
+		}
+		j.heapPop()
+	}
 }
 
 // laterFrameOverdue reports whether any buffered frame after next is past
-// its deadline.
+// its deadline. It is only called when buf[next] is absent, so every live
+// heap item refers to a frame after next; stale items (popped or overwritten
+// frames) are pruned as they surface.
 func (j *JitterBuffer) laterFrameOverdue(now time.Time) bool {
-	for seq, e := range j.buf {
-		if seqBefore(j.next, seq) && !e.deadline.After(now) {
-			return true
-		}
+	j.pruneStale()
+	if len(j.deadlines) == 0 {
+		return false
 	}
-	return false
+	return !j.deadlines[0].deadline.After(now)
 }
 
 // Depth returns the number of buffered frames.

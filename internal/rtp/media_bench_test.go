@@ -1,0 +1,192 @@
+package rtp
+
+import (
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"siphoc/internal/clock"
+	"siphoc/internal/netem"
+)
+
+// The micro-benchmarks pin the per-frame codec cost of the old allocating
+// API (NewVoiceFrame/Marshal, Parse) against the zero-alloc fast path the
+// pacer and receive loop use (AppendVoicePayload/AppendTo, ParseInto). The
+// allocs/op columns are the ≥10× claim in DESIGN.md §9: the old send path
+// pays three allocations per frame and the old parse one, the new paths pay
+// zero.
+
+var benchWire []byte
+
+func BenchmarkVoiceFrameMarshal(b *testing.B) {
+	sentAt := time.Unix(1000, 0)
+	b.ReportAllocs()
+	for i := 0; b.N > i; i++ {
+		benchWire = NewVoiceFrame(7, uint32(i), sentAt).Marshal()
+	}
+}
+
+func BenchmarkVoiceFrameAppendTo(b *testing.B) {
+	payload := make([]byte, 0, PayloadBytes)
+	wire := make([]byte, 0, headerLen+PayloadBytes)
+	sentAt := time.Unix(1000, 0)
+	b.ReportAllocs()
+	for i := 0; b.N > i; i++ {
+		payload = AppendVoicePayload(payload[:0], uint32(i), sentAt)
+		p := Packet{
+			PayloadType: PayloadTypePCMU,
+			Seq:         uint16(i),
+			Timestamp:   uint32(i) * SamplesPerFrame,
+			SSRC:        7,
+			Payload:     payload,
+		}
+		wire = p.AppendTo(wire[:0])
+	}
+	benchWire = wire
+}
+
+var benchPkt *Packet
+
+func BenchmarkPacketParse(b *testing.B) {
+	wire := NewVoiceFrame(7, 3, time.Unix(1000, 0)).Marshal()
+	b.ReportAllocs()
+	for i := 0; b.N > i; i++ {
+		p, err := Parse(wire)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchPkt = p
+	}
+}
+
+func BenchmarkPacketParseInto(b *testing.B) {
+	wire := NewVoiceFrame(7, 3, time.Unix(1000, 0)).Marshal()
+	var pkt Packet
+	b.ReportAllocs()
+	for i := 0; b.N > i; i++ {
+		if err := ParseInto(&pkt, wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+	benchPkt = &pkt
+}
+
+// BenchmarkMediaScale is the concurrent-call scale benchmark: M bidirectional
+// 50 pps voice streams across M isolated radio pairs, all paced by one shared
+// Pacer on a fake clock. Reported metrics:
+//
+//	frames/s     — end-to-end frame throughput of the whole media plane
+//	allocs/frame — total heap allocations (send + network + receive + playout)
+//	               divided by frames carried
+//	goroutines   — goroutines added by starting all 2M streams (the pacer's
+//	               scheduler is shared, so this stays 0 regardless of M)
+func BenchmarkMediaScale(b *testing.B) {
+	for _, streams := range []int{1, 8, 32, 128} {
+		b.Run("streams="+strconv.Itoa(streams), func(b *testing.B) {
+			benchMediaScale(b, streams)
+		})
+	}
+}
+
+func benchMediaScale(b *testing.B, streams int) {
+	const frames = 50
+	var totalMallocs, totalFrames uint64
+	var streaming time.Duration
+	extraGoroutines := 0
+	b.ReportAllocs()
+	for it := 0; b.N > it; it++ {
+		b.StopTimer()
+		clk := clock.NewFake(time.Unix(3_000_000, 0))
+		net := netem.NewNetwork(netem.Config{BaseDelay: 200 * time.Microsecond, Clock: clk})
+		pacer := NewPacer(clk)
+		type pair struct {
+			send, recv     *Session
+			sendID, recvID netem.NodeID
+		}
+		pairs := make([]pair, streams)
+		for i := range streams {
+			// Pairs sit 50 m apart, 1 km from the next pair: each stream
+			// has its own interference-free radio cell.
+			ha, err := net.AddHost(netem.NodeName("s", i+1), netem.Position{X: float64(i) * 1000})
+			if err != nil {
+				b.Fatal(err)
+			}
+			hb, err := net.AddHost(netem.NodeName("r", i+1), netem.Position{X: float64(i)*1000 + 50})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ha.SetRouteProvider(directRoutes{})
+			hb.SetRouteProvider(directRoutes{})
+			ca, err := ha.Listen(4000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cb, err := hb.Listen(4001)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pairs[i] = pair{
+				send:   NewSessionWithPacer(ca, clk, uint32(i+1), pacer),
+				recv:   NewSessionWithPacer(cb, clk, uint32(1000+i), pacer),
+				sendID: ha.ID(),
+				recvID: hb.ID(),
+			}
+		}
+		base := runtime.NumGoroutine()
+		handles := make([]*Stream, 0, 2*streams)
+		for _, p := range pairs {
+			// Bidirectional: the receiver talks back on the sender's port.
+			handles = append(handles,
+				p.send.StartStream(p.recvID, 4001, frames),
+				p.recv.StartStream(p.sendID, 4000, frames))
+		}
+		if extra := runtime.NumGoroutine() - base; extra > extraGoroutines {
+			extraGoroutines = extra
+		}
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		b.StartTimer()
+		for {
+			done := true
+			for _, h := range handles {
+				select {
+				case <-h.Done():
+				default:
+					done = false
+				}
+			}
+			if done {
+				break
+			}
+			clk.Advance(FrameDuration)
+			time.Sleep(100 * time.Microsecond)
+		}
+		for range 10 { // flush in-flight deliveries and the playout buffers
+			clk.Advance(FrameDuration)
+			time.Sleep(100 * time.Microsecond)
+		}
+		b.StopTimer()
+		streaming += time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		totalMallocs += ms1.Mallocs - ms0.Mallocs
+		totalFrames += uint64(2 * streams * frames)
+		for _, h := range handles {
+			if got := h.Wait(); got != frames {
+				b.Fatalf("stream sent %d frames, want %d", got, frames)
+			}
+		}
+		for _, p := range pairs {
+			p.send.Close()
+			p.recv.Close()
+		}
+		pacer.Close()
+		net.Close()
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(totalFrames)/streaming.Seconds(), "frames/s")
+	b.ReportMetric(float64(totalMallocs)/float64(totalFrames), "allocs/frame")
+	b.ReportMetric(float64(extraGoroutines), "goroutines")
+}

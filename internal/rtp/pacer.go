@@ -1,0 +1,244 @@
+package rtp
+
+import (
+	"container/heap"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"siphoc/internal/clock"
+	"siphoc/internal/netem"
+)
+
+// Pacer is the media plane's shared frame scheduler: one goroutine drains a
+// (due, seq) min-heap of active streams and emits each stream's next voice
+// frame when its deadline passes — the same shape as netem's delivery
+// scheduler, replacing the goroutine-plus-timer-per-frame model. Any number
+// of concurrent streams across any number of sessions share the one
+// goroutine; a Scenario constructs one pacer for its whole deployment.
+type Pacer struct {
+	clk clock.Clock
+
+	mu     sync.Mutex
+	heap   pacerHeap
+	seq    uint64
+	closed bool
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewPacer starts a pacer on clk. Close it when the deployment shuts down.
+func NewPacer(clk clock.Clock) *Pacer {
+	p := &Pacer{
+		clk:  clk,
+		wake: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go p.run()
+	return p
+}
+
+// add registers a stream whose first frame is due at st.due.
+func (p *Pacer) add(st *Stream) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		st.finish()
+		return
+	}
+	st.seq = p.seq
+	p.seq++
+	heap.Push(&p.heap, st)
+	first := p.heap[0] == st
+	p.mu.Unlock()
+	if first {
+		select {
+		case p.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (p *Pacer) run() {
+	defer close(p.done)
+	var batch []*Stream
+	for {
+		p.mu.Lock()
+		now := p.clk.Now()
+		batch = batch[:0]
+		for len(p.heap) > 0 && !p.heap[0].due.After(now) {
+			batch = append(batch, heap.Pop(&p.heap).(*Stream))
+		}
+		wait, pending := time.Duration(0), false
+		if len(p.heap) > 0 {
+			wait, pending = p.heap[0].due.Sub(now), true
+		}
+		p.mu.Unlock()
+		live := batch[:0]
+		for _, st := range batch {
+			if st.step() {
+				st.due = st.due.Add(FrameDuration)
+				live = append(live, st)
+			} else {
+				st.finish()
+			}
+		}
+		if len(live) > 0 {
+			p.mu.Lock()
+			if p.closed {
+				p.mu.Unlock()
+				for _, st := range live {
+					st.finish()
+				}
+				return
+			}
+			for _, st := range live {
+				st.seq = p.seq
+				p.seq++
+				heap.Push(&p.heap, st)
+			}
+			p.mu.Unlock()
+		}
+		if len(batch) > 0 {
+			continue // new deadlines may have passed while sending
+		}
+		if !pending {
+			select {
+			case <-p.stop:
+				return
+			case <-p.wake:
+			}
+			continue
+		}
+		t := p.clk.NewTimer(wait)
+		select {
+		case <-p.stop:
+			t.Stop()
+			return
+		case <-p.wake:
+			t.Stop()
+		case <-t.C():
+		}
+	}
+}
+
+// Close stops the scheduler goroutine. Streams still pacing are finished
+// immediately so their waiters unblock with the frames sent so far.
+func (p *Pacer) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.done
+		return
+	}
+	p.closed = true
+	pending := append([]*Stream(nil), p.heap...)
+	p.heap = nil
+	p.mu.Unlock()
+	close(p.stop)
+	<-p.done
+	for _, st := range pending {
+		st.finish()
+	}
+}
+
+// pacerHeap is a min-heap of active streams ordered by (due, seq).
+type pacerHeap []*Stream
+
+func (h pacerHeap) Len() int { return len(h) }
+func (h pacerHeap) Less(i, j int) bool {
+	if !h[i].due.Equal(h[j].due) {
+		return h[i].due.Before(h[j].due)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h pacerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pacerHeap) Push(x any)   { *h = append(*h, x.(*Stream)) }
+func (h *pacerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	st := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return st
+}
+
+// Stream is a handle to one in-flight voice stream started by
+// Session.StartStream. Wait blocks until the stream finishes (all frames
+// sent, the stream stopped, or the session/pacer closed) and returns the
+// number of frames handed to the network.
+type Stream struct {
+	sess   *Session
+	dst    netem.NodeID
+	port   uint16
+	frames int
+
+	// due/seq/i belong to the pacer goroutine (and the single registration
+	// in StartStream before the stream is visible to it).
+	due time.Time
+	seq uint64
+	i   int
+
+	// payload/wire/pkt are per-stream scratch reused every frame so the
+	// steady-state send path allocates nothing.
+	payload []byte
+	wire    []byte
+	pkt     Packet
+
+	sent      atomic.Int64
+	cancelled atomic.Bool
+	done      chan struct{}
+	doneOnce  sync.Once
+}
+
+// Wait blocks until the stream finishes and returns the frames sent.
+func (st *Stream) Wait() int {
+	<-st.done
+	return int(st.sent.Load())
+}
+
+// Done is closed when the stream finishes.
+func (st *Stream) Done() <-chan struct{} { return st.done }
+
+// Sent returns the frames handed to the network so far.
+func (st *Stream) Sent() int { return int(st.sent.Load()) }
+
+// Stop cancels the stream: no further frames are sent and Wait unblocks.
+func (st *Stream) Stop() {
+	st.cancelled.Store(true)
+	st.finish()
+}
+
+func (st *Stream) finish() {
+	st.doneOnce.Do(func() {
+		close(st.done)
+		st.sess.removeStream(st)
+	})
+}
+
+// step sends the stream's next frame and reports whether more remain. Called
+// only from the pacer goroutine.
+func (st *Stream) step() bool {
+	if st.cancelled.Load() {
+		return false
+	}
+	s := st.sess
+	st.payload = AppendVoicePayload(st.payload[:0], uint32(st.i), s.clk.Now())
+	st.pkt = Packet{
+		PayloadType: PayloadTypePCMU,
+		Seq:         uint16(st.i),
+		Timestamp:   uint32(st.i) * SamplesPerFrame,
+		SSRC:        s.ssrc,
+		Payload:     st.payload,
+	}
+	st.wire = st.pkt.AppendTo(st.wire[:0])
+	if err := s.conn.WriteTo(st.wire, st.dst, st.port); err == nil {
+		st.sent.Add(1)
+	}
+	s.sent.Add(1)
+	st.i++
+	return st.i < st.frames
+}

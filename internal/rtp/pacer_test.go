@@ -1,0 +1,276 @@
+package rtp
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"siphoc/internal/clock"
+	"siphoc/internal/netem"
+)
+
+// pairNet builds a two-host network one radio hop apart on the real clock.
+func pairNet(t *testing.T) (*netem.Network, *netem.Host, *netem.Host) {
+	t.Helper()
+	n := netem.NewNetwork(netem.Config{BaseDelay: 100 * time.Microsecond})
+	t.Cleanup(n.Close)
+	a, err := n.AddHost("a", netem.Position{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.AddHost("b", netem.Position{X: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetRouteProvider(directRoutes{})
+	b.SetRouteProvider(directRoutes{})
+	return n, a, b
+}
+
+// TestPacerManyConcurrentStreams drives 32 concurrent streams through one
+// shared pacer while stats readers hammer the sessions — the -race target of
+// the media fast path. All frames must arrive and the pacer must add no
+// goroutines beyond its single scheduler.
+func TestPacerManyConcurrentStreams(t *testing.T) {
+	_, a, b := pairNet(t)
+	clk := clock.New()
+	pacer := NewPacer(clk)
+	defer pacer.Close()
+
+	const streams = 32
+	const frames = 8
+	ca, err := a.Listen(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := NewSessionWithPacer(ca, clk, 1, pacer)
+	defer sender.Close()
+	recvs := make([]*Session, streams)
+	for i := range streams {
+		conn, err := b.Listen(uint16(5000 + i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		recvs[i] = NewSessionWithPacer(conn, clk, uint32(100+i), pacer)
+		defer recvs[i].Close()
+	}
+
+	before := runtime.NumGoroutine()
+	handles := make([]*Stream, streams)
+	for i := range streams {
+		handles[i] = sender.StartStream("b", uint16(5000+i), frames)
+	}
+	during := runtime.NumGoroutine()
+	// O(1) goroutines for M streams: starting 32 streams adds none (the
+	// scheduler goroutine already existed). Allow slack for unrelated
+	// runtime goroutines coming and going.
+	if during-before > 2 {
+		t.Errorf("starting %d streams grew goroutines by %d, want O(1)", streams, during-before)
+	}
+
+	// Concurrent readers racing the pacer's writes.
+	stop := make(chan struct{})
+	readers := make(chan struct{})
+	go func() {
+		defer close(readers)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = sender.Sent()
+			for _, h := range handles {
+				_ = h.Sent()
+			}
+			for _, r := range recvs {
+				_, _, _ = r.PlayoutStats()
+				_ = r.Stats()
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	for i, h := range handles {
+		if got := h.Wait(); got != frames {
+			t.Errorf("stream %d sent %d frames, want %d", i, got, frames)
+		}
+	}
+	close(stop)
+	<-readers
+	if got := sender.Sent(); got != streams*frames {
+		t.Errorf("session sent %d, want %d", got, streams*frames)
+	}
+	// Every frame is delivered (no loss configured); wait for the tail.
+	deadline := time.Now().Add(5 * time.Second)
+	for i, r := range recvs {
+		for r.Stats().Received < frames {
+			if time.Now().After(deadline) {
+				t.Fatalf("receiver %d got %d/%d frames", i, r.Stats().Received, frames)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestStreamStop cancels a long stream mid-flight: Wait unblocks with the
+// partial count and no further frames are sent.
+func TestStreamStop(t *testing.T) {
+	_, a, b := pairNet(t)
+	clk := clock.New()
+	ca, err := a.Listen(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Listen(4001); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(ca, clk, 1) // private-pacer fallback path
+	defer s.Close()
+	st := s.StartStream("b", 4001, 100000)
+	for st.Sent() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	st.Stop()
+	got := st.Wait()
+	if got == 0 || got == 100000 {
+		t.Fatalf("stopped stream sent %d frames, want partial", got)
+	}
+	sent := st.Sent()
+	time.Sleep(50 * time.Millisecond)
+	if st.Sent() != sent {
+		t.Fatalf("stream kept sending after Stop: %d -> %d", sent, st.Sent())
+	}
+}
+
+// TestSessionCloseUnblocksStreams closes a session with an active stream;
+// the blocking SendStream caller must return promptly.
+func TestSessionCloseUnblocksStreams(t *testing.T) {
+	_, a, b := pairNet(t)
+	clk := clock.New()
+	ca, err := a.Listen(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Listen(4001); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(ca, clk, 1)
+	done := make(chan int, 1)
+	go func() { done <- s.SendStream("b", 4001, 100000) }()
+	time.Sleep(20 * time.Millisecond)
+	s.Close()
+	select {
+	case n := <-done:
+		if n >= 100000 {
+			t.Fatalf("SendStream returned %d after close, want partial", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SendStream never returned after session close")
+	}
+}
+
+// TestStreamEdgeCases covers zero-frame streams and streams started on a
+// closed session: both must finish immediately without touching the pacer.
+func TestStreamEdgeCases(t *testing.T) {
+	_, a, b := pairNet(t)
+	clk := clock.New()
+	ca, err := a.Listen(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Listen(4001); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(ca, clk, 1)
+	if got := s.SendStream("b", 4001, 0); got != 0 {
+		t.Fatalf("zero-frame stream sent %d", got)
+	}
+	s.Close()
+	if got := s.SendStream("b", 4001, 5); got != 0 {
+		t.Fatalf("stream on closed session sent %d", got)
+	}
+}
+
+// TestPacerCloseFinishesStreams closes the shared pacer under active
+// streams: their waiters unblock with partial counts.
+func TestPacerCloseFinishesStreams(t *testing.T) {
+	_, a, b := pairNet(t)
+	clk := clock.New()
+	pacer := NewPacer(clk)
+	ca, err := a.Listen(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range 4 {
+		if _, err := b.Listen(uint16(4100 + i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := NewSessionWithPacer(ca, clk, 1, pacer)
+	defer s.Close()
+	handles := make([]*Stream, 4)
+	for i := range handles {
+		handles[i] = s.StartStream("b", uint16(4100+i), 100000)
+	}
+	for handles[0].Sent() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	pacer.Close()
+	for i, h := range handles {
+		select {
+		case <-h.Done():
+		case <-time.After(5 * time.Second):
+			t.Fatalf("stream %d never finished after pacer close", i)
+		}
+		if h.Sent() >= 100000 {
+			t.Fatalf("stream %d reports %d frames after early close", i, h.Sent())
+		}
+	}
+}
+
+// TestSendStreamPacesOnFakeClock checks the blocking wrapper against an
+// advancing fake clock: n frames take exactly (n-1) frame intervals.
+func TestSendStreamPacesOnFakeClock(t *testing.T) {
+	clk := clock.NewFake(time.Unix(5000, 0))
+	n := netem.NewNetwork(netem.Config{BaseDelay: 100 * time.Microsecond, Clock: clk})
+	defer n.Close()
+	a, err := n.AddHost("a", netem.Position{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.AddHost("b", netem.Position{X: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetRouteProvider(directRoutes{})
+	b.SetRouteProvider(directRoutes{})
+	ca, err := a.Listen(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Listen(4001); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(ca, clk, 1)
+	defer s.Close()
+	const frames = 10
+	st := s.StartStream("b", 4001, frames)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		select {
+		case <-st.Done():
+		default:
+			if time.Now().After(deadline) {
+				t.Fatalf("stream stalled at %d/%d frames", st.Sent(), frames)
+			}
+			clk.Advance(FrameDuration)
+			time.Sleep(500 * time.Microsecond)
+			continue
+		}
+		break
+	}
+	if got := st.Wait(); got != frames {
+		t.Fatalf("sent %d, want %d", got, frames)
+	}
+}

@@ -32,52 +32,75 @@ type Packet struct {
 	Payload     []byte
 }
 
-// Marshal encodes the packet.
-func (p *Packet) Marshal() []byte {
-	buf := make([]byte, headerLen+len(p.Payload))
-	buf[0] = 2 << 6 // version 2, no padding/extension/CSRC
-	buf[1] = p.PayloadType & 0x7f
-	binary.BigEndian.PutUint16(buf[2:4], p.Seq)
-	binary.BigEndian.PutUint32(buf[4:8], p.Timestamp)
-	binary.BigEndian.PutUint32(buf[8:12], p.SSRC)
-	copy(buf[headerLen:], p.Payload)
-	return buf
+// AppendTo appends the packet's wire encoding to dst and returns the
+// extended slice. Callers that reuse dst across frames (the pacer's send
+// path) encode with zero allocations in steady state.
+func (p *Packet) AppendTo(dst []byte) []byte {
+	dst = append(dst, 2<<6, p.PayloadType&0x7f) // version 2, no padding/extension/CSRC
+	dst = binary.BigEndian.AppendUint16(dst, p.Seq)
+	dst = binary.BigEndian.AppendUint32(dst, p.Timestamp)
+	dst = binary.BigEndian.AppendUint32(dst, p.SSRC)
+	return append(dst, p.Payload...)
 }
 
-// Parse decodes an RTP packet.
-func Parse(b []byte) (*Packet, error) {
+// Marshal encodes the packet into a fresh buffer.
+func (p *Packet) Marshal() []byte {
+	return p.AppendTo(make([]byte, 0, headerLen+len(p.Payload)))
+}
+
+// ParseInto decodes an RTP packet into p without copying: p.Payload aliases
+// b. The caller owns b and must keep it immutable until the frame is played
+// or dropped — the receive path hands each frame's datagram buffer to the
+// jitter buffer and never reuses it, so borrowing is safe there.
+func ParseInto(p *Packet, b []byte) error {
 	if len(b) < headerLen {
-		return nil, fmt.Errorf("rtp: short packet (%d bytes)", len(b))
+		return fmt.Errorf("rtp: short packet (%d bytes)", len(b))
 	}
 	if v := b[0] >> 6; v != 2 {
-		return nil, fmt.Errorf("rtp: unsupported version %d", v)
+		return fmt.Errorf("rtp: unsupported version %d", v)
 	}
-	return &Packet{
-		PayloadType: b[1] & 0x7f,
-		Seq:         binary.BigEndian.Uint16(b[2:4]),
-		Timestamp:   binary.BigEndian.Uint32(b[4:8]),
-		SSRC:        binary.BigEndian.Uint32(b[8:12]),
-		Payload:     append([]byte(nil), b[headerLen:]...),
-	}, nil
+	p.PayloadType = b[1] & 0x7f
+	p.Seq = binary.BigEndian.Uint16(b[2:4])
+	p.Timestamp = binary.BigEndian.Uint32(b[4:8])
+	p.SSRC = binary.BigEndian.Uint32(b[8:12])
+	p.Payload = b[headerLen:]
+	return nil
 }
 
-// NewVoiceFrame builds the i-th packet of a synthetic voice stream: a G.711
-// sized payload whose first 8 bytes carry the wall-clock send time in
-// nanoseconds so the receiver can measure one-way delay (both ends share the
-// simulation clock).
-func NewVoiceFrame(ssrc uint32, i uint32, sentAt time.Time) *Packet {
-	payload := make([]byte, PayloadBytes)
-	binary.BigEndian.PutUint64(payload[:timestampTrailLen], uint64(sentAt.UnixNano()))
-	// Fill the rest with a deterministic tone-like pattern.
-	for j := timestampTrailLen; j < PayloadBytes; j++ {
-		payload[j] = byte((int(i) + j) % 251)
+// Parse decodes an RTP packet, copying the payload so the result is
+// independent of b. Hot paths use ParseInto instead.
+func Parse(b []byte) (*Packet, error) {
+	p := &Packet{}
+	if err := ParseInto(p, b); err != nil {
+		return nil, err
 	}
+	p.Payload = append([]byte(nil), p.Payload...)
+	return p, nil
+}
+
+// AppendVoicePayload appends the i-th synthetic G.711 frame payload to dst:
+// the first 8 bytes carry the wall-clock send time in nanoseconds (so the
+// receiver can measure one-way delay; both ends share the simulation clock),
+// the rest a deterministic tone-like pattern. Reusing dst across frames
+// synthesizes voice with zero allocations.
+func AppendVoicePayload(dst []byte, i uint32, sentAt time.Time) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, uint64(sentAt.UnixNano()))
+	for j := timestampTrailLen; j < PayloadBytes; j++ {
+		dst = append(dst, byte((int(i)+j)%251))
+	}
+	return dst
+}
+
+// NewVoiceFrame builds the i-th packet of a synthetic voice stream in fresh
+// buffers. The pacer's send path keeps per-stream buffers instead; this
+// constructor remains for tests and one-shot callers.
+func NewVoiceFrame(ssrc uint32, i uint32, sentAt time.Time) *Packet {
 	return &Packet{
 		PayloadType: PayloadTypePCMU,
 		Seq:         uint16(i),
 		Timestamp:   i * SamplesPerFrame,
 		SSRC:        ssrc,
-		Payload:     payload,
+		Payload:     AppendVoicePayload(make([]byte, 0, PayloadBytes), i, sentAt),
 	}
 }
 

@@ -2,6 +2,7 @@ package rtp
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"siphoc/internal/clock"
@@ -11,17 +12,25 @@ import (
 // Session is one end of an RTP media session bound to a UDP-like port: it
 // can stream synthetic voice toward the peer and it measures everything that
 // arrives. Close releases the port and stops the receive loop.
+//
+// Outgoing streams are paced by a Pacer — the shared one handed to
+// NewSessionWithPacer, or a private one created lazily otherwise.
 type Session struct {
 	conn *netem.Conn
 	clk  clock.Clock
 	ssrc uint32
 
+	sent   atomic.Int64
+	played atomic.Int64
+
 	mu          sync.Mutex
 	recv        Receiver
 	jb          *JitterBuffer
-	played      int64
-	sent        int64
 	onFirstRecv func(time.Time) // one-shot; cleared after firing
+	streams     []*Stream
+	pacer       *Pacer
+	ownPacer    bool
+	closed      bool
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -29,12 +38,22 @@ type Session struct {
 }
 
 // NewSession wraps conn and starts receiving. Incoming frames pass through
-// a playout jitter buffer before being counted as played.
+// a playout jitter buffer before being counted as played. Outgoing streams
+// get a private pacer; deployments with many sessions should share one via
+// NewSessionWithPacer.
 func NewSession(conn *netem.Conn, clk clock.Clock, ssrc uint32) *Session {
+	return NewSessionWithPacer(conn, clk, ssrc, nil)
+}
+
+// NewSessionWithPacer wraps conn like NewSession but paces outgoing streams
+// on the shared pacer (nil behaves like NewSession). The caller owns the
+// pacer's lifecycle.
+func NewSessionWithPacer(conn *netem.Conn, clk clock.Clock, ssrc uint32, pacer *Pacer) *Session {
 	s := &Session{
 		conn: conn, clk: clk, ssrc: ssrc,
-		jb:   NewJitterBuffer(DefaultPlayoutDelay),
-		stop: make(chan struct{}),
+		jb:    NewJitterBuffer(DefaultPlayoutDelay),
+		pacer: pacer,
+		stop:  make(chan struct{}),
 	}
 	s.wg.Add(1)
 	go s.recvLoop()
@@ -60,43 +79,59 @@ func (s *Session) OnFirstRecv(fn func(time.Time)) {
 	}
 }
 
+// StartStream begins transmitting `frames` voice frames to dst:port paced at
+// the G.711 frame rate (20 ms) without blocking; the returned handle reports
+// progress and Wait blocks until done. The first frame is due immediately.
+func (s *Session) StartStream(dst netem.NodeID, port uint16, frames int) *Stream {
+	st := &Stream{
+		sess: s, dst: dst, port: port, frames: frames,
+		payload: make([]byte, 0, PayloadBytes),
+		wire:    make([]byte, 0, headerLen+PayloadBytes),
+		done:    make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.closed || frames <= 0 {
+		s.mu.Unlock()
+		st.cancelled.Store(true)
+		st.doneOnce.Do(func() { close(st.done) })
+		return st
+	}
+	pc := s.pacer
+	if pc == nil {
+		pc = NewPacer(s.clk)
+		s.pacer = pc
+		s.ownPacer = true
+	}
+	s.streams = append(s.streams, st)
+	s.mu.Unlock()
+	st.due = s.clk.Now()
+	pc.add(st)
+	return st
+}
+
 // SendStream transmits `frames` voice frames to dst:port paced at the G.711
 // frame rate (20 ms), blocking until done or the session closes. It returns
 // the number of frames handed to the network.
 func (s *Session) SendStream(dst netem.NodeID, port uint16, frames int) int {
-	sent := 0
-	for i := range frames {
-		select {
-		case <-s.stop:
-			return sent
-		default:
-		}
-		pkt := NewVoiceFrame(s.ssrc, uint32(i), s.clk.Now())
-		if err := s.conn.WriteTo(pkt.Marshal(), dst, port); err == nil {
-			sent++
-		}
-		s.mu.Lock()
-		s.sent++
-		s.mu.Unlock()
-		if i != frames-1 {
-			timer := s.clk.NewTimer(FrameDuration)
-			select {
-			case <-s.stop:
-				timer.Stop()
-				return sent
-			case <-timer.C():
-			}
+	return s.StartStream(dst, port, frames).Wait()
+}
+
+func (s *Session) removeStream(st *Stream) {
+	s.mu.Lock()
+	for i, cur := range s.streams {
+		if cur == st {
+			last := len(s.streams) - 1
+			s.streams[i] = s.streams[last]
+			s.streams[last] = nil
+			s.streams = s.streams[:last]
+			break
 		}
 	}
-	return sent
+	s.mu.Unlock()
 }
 
 // Sent returns the number of frames transmitted so far.
-func (s *Session) Sent() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sent
-}
+func (s *Session) Sent() int64 { return s.sent.Load() }
 
 // Stats returns the receive-side quality snapshot.
 func (s *Session) Stats() Stats {
@@ -112,38 +147,55 @@ func (s *Session) PlayoutStats() (played, late, missing int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	// Flush anything due up to now so callers see current numbers.
-	s.played += int64(len(s.jb.PopDue(s.clk.Now())))
-	return s.played, s.jb.Late(), s.jb.Missing()
+	s.played.Add(int64(s.jb.FlushDue(s.clk.Now())))
+	return s.played.Load(), s.jb.Late(), s.jb.Missing()
 }
 
-// Close stops the session and releases the port.
+// Close stops the session: active streams finish immediately (their waiters
+// see the frames sent so far), the port is released, and any private pacer
+// shuts down.
 func (s *Session) Close() {
 	s.stopOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		streams := append([]*Stream(nil), s.streams...)
+		pc, own := s.pacer, s.ownPacer
+		s.mu.Unlock()
 		close(s.stop)
+		for _, st := range streams {
+			st.Stop()
+		}
 		s.conn.Close()
+		if own {
+			pc.Close()
+		}
 	})
 	s.wg.Wait()
 }
 
 func (s *Session) recvLoop() {
 	defer s.wg.Done()
+	var pkt Packet
 	for {
 		dg, ok := s.conn.Recv()
 		if !ok {
 			return
 		}
-		pkt, err := Parse(dg.Data)
-		if err != nil {
+		// Zero-copy parse: the payload borrows dg.Data, which the network
+		// hands over per frame and never reuses; the jitter buffer owns it
+		// until the frame is played or dropped.
+		if err := ParseInto(&pkt, dg.Data); err != nil {
 			continue
 		}
 		now := s.clk.Now()
 		s.mu.Lock()
 		first := s.onFirstRecv
 		s.onFirstRecv = nil
-		s.recv.Observe(pkt, now)
-		s.jb.Put(pkt, now)
-		s.played += int64(len(s.jb.PopDue(now)))
+		s.recv.Observe(&pkt, now)
+		s.jb.Put(&pkt, now)
+		played := s.jb.FlushDue(now)
 		s.mu.Unlock()
+		s.played.Add(int64(played))
 		if first != nil {
 			first(now)
 		}

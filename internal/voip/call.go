@@ -92,7 +92,7 @@ func (p *Phone) newOutgoingCall(uri *sip.URI) (*Call, error) {
 		state:         StateSetup,
 		localTag:      p.stack.NewTag(),
 		remoteContact: uri.Clone(),
-		media:         rtp.NewSession(mediaConn, p.clk, uint32(mediaConn.LocalPort())),
+		media:         rtp.NewSessionWithPacer(mediaConn, p.clk, uint32(mediaConn.LocalPort()), p.cfg.MediaPacer),
 		setupAt:       p.clk.Now(),
 		established:   make(chan struct{}),
 		ended:         make(chan struct{}),
@@ -121,7 +121,7 @@ func (p *Phone) newIncomingCall(tx *sip.ServerTx) (*Call, error) {
 		remoteTag:   req.From.Tag(),
 		inviteTx:    tx,
 		inviteReq:   req,
-		media:       rtp.NewSession(mediaConn, p.clk, uint32(mediaConn.LocalPort())),
+		media:       rtp.NewSessionWithPacer(mediaConn, p.clk, uint32(mediaConn.LocalPort()), p.cfg.MediaPacer),
 		setupAt:     p.clk.Now(),
 		established: make(chan struct{}),
 		ended:       make(chan struct{}),
@@ -267,14 +267,25 @@ func (c *Call) WaitEnded(timeout time.Duration) error {
 // SendVoice streams n synthetic voice frames to the remote media endpoint,
 // blocking at the codec frame rate. It returns the number of frames sent.
 func (c *Call) SendVoice(n int) int {
+	st := c.StartVoice(n)
+	if st == nil {
+		return 0
+	}
+	return st.Wait()
+}
+
+// StartVoice begins streaming n synthetic voice frames to the remote media
+// endpoint without blocking; the returned handle's Wait reports the frames
+// sent. It returns nil when the call has no media endpoint yet.
+func (c *Call) StartVoice(n int) *rtp.Stream {
 	c.mu.Lock()
 	node, port := c.mediaNode, c.mediaPort
 	media := c.media
 	c.mu.Unlock()
 	if node == "" || media == nil {
-		return 0
+		return nil
 	}
-	return media.SendStream(node, port, n)
+	return media.StartStream(node, port, n)
 }
 
 // MediaStats returns the receive-side media quality snapshot.

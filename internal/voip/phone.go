@@ -15,6 +15,7 @@ import (
 	"siphoc/internal/clock"
 	"siphoc/internal/netem"
 	"siphoc/internal/obs"
+	"siphoc/internal/rtp"
 	"siphoc/internal/sip"
 )
 
@@ -52,6 +53,10 @@ type Config struct {
 	// call counters; it is also propagated to the embedded SIP stack
 	// unless SIP.Obs is already set. Nil disables.
 	Obs *obs.Observer
+	// MediaPacer schedules outgoing RTP frames for all of this phone's
+	// calls on a shared scheduler goroutine. Scenario wires one pacer per
+	// deployment; nil gives each media session a private pacer.
+	MediaPacer *rtp.Pacer
 }
 
 func (c Config) withDefaults() Config {

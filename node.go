@@ -11,6 +11,7 @@ import (
 	"siphoc/internal/routing"
 	"siphoc/internal/routing/aodv"
 	"siphoc/internal/routing/olsr"
+	"siphoc/internal/rtp"
 	"siphoc/internal/sip"
 	"siphoc/internal/slp"
 	"siphoc/internal/voip"
@@ -245,6 +246,9 @@ func (n *Node) NewPhoneWith(cfg PhoneConfig) (*Phone, error) {
 	if cfg.Obs == nil {
 		cfg.Obs = n.scenario.obs
 	}
+	if cfg.MediaPacer == nil {
+		cfg.MediaPacer = n.scenario.pacer
+	}
 	ph := voip.New(n.host, cfg)
 	if err := ph.Start(); err != nil {
 		return nil, err
@@ -258,7 +262,7 @@ func (n *Node) NewPhoneWith(cfg PhoneConfig) (*Phone, error) {
 // newInternetPhone builds a phone for a host attached directly to the
 // Internet, using the provider's proxy as its outbound proxy (the normal
 // Internet SIP configuration, without SIPHoc in the path).
-func newInternetPhone(host *netem.Host, user, password, domain string, proxy sip.Addr, clk clock.Clock) *voip.Phone {
+func newInternetPhone(host *netem.Host, user, password, domain string, proxy sip.Addr, clk clock.Clock, pacer *rtp.Pacer) *voip.Phone {
 	sipCfg := sip.SimConfig()
 	sipCfg.Clock = clk
 	return voip.New(host, voip.Config{
@@ -266,6 +270,7 @@ func newInternetPhone(host *netem.Host, user, password, domain string, proxy sip
 		OutboundProxy: proxy,
 		SIP:           sipCfg,
 		Clock:         clk,
+		MediaPacer:    pacer,
 	})
 }
 

@@ -9,6 +9,7 @@ import (
 	"siphoc/internal/internet"
 	"siphoc/internal/netem"
 	"siphoc/internal/obs"
+	"siphoc/internal/rtp"
 	"siphoc/internal/slp"
 )
 
@@ -86,8 +87,9 @@ type Scenario struct {
 	clk clock.Clock
 	obs *obs.Observer // nil when NoObservability
 
-	net  *netem.Network
-	inet *internet.Internet
+	net   *netem.Network
+	inet  *internet.Internet
+	pacer *rtp.Pacer // shared by every phone's media sessions
 
 	mu         sync.Mutex
 	nodes      map[netem.NodeID]*Node
@@ -115,6 +117,7 @@ func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
 		clk:   cfg.Clock,
 		obs:   observer,
 		net:   netem.NewNetwork(radio),
+		pacer: rtp.NewPacer(cfg.Clock),
 		nodes: make(map[netem.NodeID]*Node),
 	}
 	if cfg.Internet {
@@ -137,6 +140,10 @@ func (s *Scenario) Internet() *internet.Internet { return s.inet }
 
 // Clock returns the scenario's time source.
 func (s *Scenario) Clock() clock.Clock { return s.clk }
+
+// MediaPacer returns the scenario-wide RTP frame scheduler shared by every
+// phone's media sessions (one goroutine paces all concurrent streams).
+func (s *Scenario) MediaPacer() *rtp.Pacer { return s.pacer }
 
 // AddNode creates a full SIPHoc node (routing protocol, MANET SLP,
 // Connection Provider, proxy — plus a Gateway Provider for gateway nodes)
@@ -257,7 +264,7 @@ func (s *Scenario) AddInternetPhoneWithPassword(user, password, domain string, h
 	if err != nil {
 		return nil, err
 	}
-	ph := newInternetPhone(host, user, password, domain, prov.ProxyAddr(), s.clk)
+	ph := newInternetPhone(host, user, password, domain, prov.ProxyAddr(), s.clk, s.pacer)
 	if err := ph.Start(); err != nil {
 		s.inet.RemoveHost(hostID)
 		return nil, err
@@ -324,4 +331,5 @@ func (s *Scenario) Close() {
 		s.inet.Close()
 	}
 	s.net.Close()
+	s.pacer.Close()
 }
