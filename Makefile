@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover check bench bench-all fuzz experiments examples clean
+.PHONY: all build test race cover check bench bench-all faults fuzz experiments examples clean
 
 all: build test
 
@@ -27,6 +27,7 @@ cover:
 check:
 	$(GO) vet ./...
 	$(GO) test -race -run 'TestCallTrace|TestMetrics|TestDialContext' .
+	$(GO) test -race -run 'Fault|Partition|LinkQuality|Gateway|Proxy' ./internal/netem/ ./internal/core/ ./internal/slp/
 	$(GO) test -race ./internal/rtp/
 	$(GO) test -race ./...
 
@@ -40,6 +41,16 @@ bench:
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
+
+# The full fault matrix under the race detector (deterministic replay,
+# scenario recovery invariants, golden recovery traces), then the gateway
+# failover latency distribution committed as JSON (see EXPERIMENTS.md
+# "Failure matrix").
+faults:
+	$(GO) test -race -run 'Fault|Partition|LinkQuality|Gateway|Proxy' ./internal/netem/ ./internal/core/ ./internal/slp/
+	$(GO) test -race -run 'TestFaultMatrix' -count 1 .
+	$(GO) test -race -run 'TestPartitionHealGoldenRecovery' ./internal/rtp/
+	$(GO) test -run '^$$' -bench 'GatewayFailover' -benchtime 5x . | $(GO) run ./cmd/benchjson > BENCH_faults.json
 
 # Brief fuzzing pass over every fuzz target (extend -fuzztime for real
 # campaigns; the committed corpora under testdata/fuzz run as normal tests).

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -14,6 +15,13 @@ import (
 	"siphoc/internal/slp"
 )
 
+// ErrNoGateway reports that gateway discovery exhausted its retry budget
+// without acquiring Internet connectivity. The provider keeps probing in the
+// background, so the condition clears itself when a gateway appears; the
+// typed error exists so callers waiting on attachment fail fast instead of
+// hanging.
+var ErrNoGateway = errors.New("core: no gateway available")
+
 // ConnProviderConfig tunes the Connection Provider.
 type ConnProviderConfig struct {
 	// ProbeInterval is how often the provider looks for a gateway when
@@ -23,6 +31,16 @@ type ConnProviderConfig struct {
 	LookupTimeout time.Duration
 	// AckTimeout bounds the tunnel OPEN/PING round trip (default 1s).
 	AckTimeout time.Duration
+	// MaxLookupRetries caps consecutive failed gateway-acquisition rounds
+	// (wildcard SLP query plus OPEN attempts); once exhausted, LastError and
+	// WaitAttached report ErrNoGateway. Probing continues regardless, so a
+	// gateway appearing later still attaches automatically. Default 8;
+	// negative disables the cap.
+	MaxLookupRetries int
+	// BlacklistTTL quarantines a gateway after a refused/timed-out OPEN or a
+	// dead tunnel, so failover skips it while its stale SLP advert lingers
+	// (default 5s; <=0 disables blacklisting).
+	BlacklistTTL time.Duration
 	// IsLocal classifies node IDs as MANET-internal; traffic to other
 	// destinations is tunnelled. Default: IDs with no letters (dotted
 	// numeric MANET addresses) are local, names like "voicehoc.ch" are
@@ -44,6 +62,12 @@ func (c ConnProviderConfig) withDefaults() ConnProviderConfig {
 	if c.AckTimeout == 0 {
 		c.AckTimeout = time.Second
 	}
+	if c.MaxLookupRetries == 0 {
+		c.MaxLookupRetries = 8
+	}
+	if c.BlacklistTTL == 0 {
+		c.BlacklistTTL = 5 * time.Second
+	}
 	if c.IsLocal == nil {
 		c.IsLocal = func(id netem.NodeID) bool {
 			return !strings.ContainsFunc(string(id), func(r rune) bool {
@@ -60,13 +84,15 @@ func (c ConnProviderConfig) withDefaults() ConnProviderConfig {
 // ConnStats counts Connection Provider activity. All fields are safe to
 // snapshot while the provider runs.
 type ConnStats struct {
-	Attaches      int64 // successful tunnel attachments
-	Detaches      int64 // losses of connectivity (ping failure or stop)
-	AttachFails   int64 // OPEN attempts that timed out or were refused
-	FramesOut     int64 // datagrams tunnelled out to the gateway
-	FramesIn      int64 // datagrams received through the tunnel
-	LastAttachGW  string
-	LastAttachDur time.Duration // duration of the most recent attach
+	Attaches        int64 // successful tunnel attachments
+	Detaches        int64 // losses of connectivity (ping failure or stop)
+	AttachFails     int64 // OPEN attempts that timed out or were refused
+	FramesOut       int64 // datagrams tunnelled out to the gateway
+	FramesIn        int64 // datagrams received through the tunnel
+	Failovers       int64 // re-attachments after losing a live gateway
+	LastAttachGW    string
+	LastAttachDur   time.Duration // duration of the most recent attach
+	LastFailoverDur time.Duration // gateway loss -> re-attach, most recent
 }
 
 // connCounters is the live, atomically updated form of ConnStats.
@@ -76,6 +102,7 @@ type connCounters struct {
 	attachFails atomic.Int64
 	framesOut   atomic.Int64
 	framesIn    atomic.Int64
+	failovers   atomic.Int64
 }
 
 // ConnectionProvider manages this node's attachment to the Internet: it
@@ -101,9 +128,22 @@ type ConnectionProvider struct {
 	closed        bool
 	lastAttachGW  string
 	lastAttachDur time.Duration
+	// blacklist quarantines gateways that refused an OPEN or died mid-tunnel
+	// until the per-entry deadline (lazily expired in gatewayCandidates).
+	blacklist map[netem.NodeID]time.Time
+	// lookupFails counts consecutive failed acquisition rounds; at the
+	// MaxLookupRetries cap, lastErr becomes ErrNoGateway. Both reset on a
+	// successful attach.
+	lookupFails int
+	lastErr     error
+	// detachedAt stamps the moment a live gateway was lost; the next
+	// successful attach turns it into a failover-latency sample.
+	detachedAt      time.Time
+	lastFailoverDur time.Duration
 
-	stats connCounters
-	obs   *obs.Observer
+	stats       connCounters
+	obs         *obs.Observer
+	obsFailover *obs.Histogram
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -114,28 +154,32 @@ type ConnectionProvider struct {
 func NewConnectionProvider(host *netem.Host, agent *slp.Agent, cfg ConnProviderConfig) *ConnectionProvider {
 	cfg = cfg.withDefaults()
 	return &ConnectionProvider{
-		host:  host,
-		agent: agent,
-		cfg:   cfg,
-		clk:   cfg.Clock,
-		obs:   cfg.Obs,
-		stop:  make(chan struct{}),
+		host:        host,
+		agent:       agent,
+		cfg:         cfg,
+		clk:         cfg.Clock,
+		obs:         cfg.Obs,
+		obsFailover: cfg.Obs.Histogram("connp.failover.delay", nil),
+		blacklist:   make(map[netem.NodeID]time.Time),
+		stop:        make(chan struct{}),
 	}
 }
 
 // Stats returns a snapshot of the provider counters.
 func (p *ConnectionProvider) Stats() ConnStats {
 	p.mu.Lock()
-	gw, dur := p.lastAttachGW, p.lastAttachDur
+	gw, dur, fdur := p.lastAttachGW, p.lastAttachDur, p.lastFailoverDur
 	p.mu.Unlock()
 	return ConnStats{
-		Attaches:      p.stats.attaches.Load(),
-		Detaches:      p.stats.detaches.Load(),
-		AttachFails:   p.stats.attachFails.Load(),
-		FramesOut:     p.stats.framesOut.Load(),
-		FramesIn:      p.stats.framesIn.Load(),
-		LastAttachGW:  gw,
-		LastAttachDur: dur,
+		Attaches:        p.stats.attaches.Load(),
+		Detaches:        p.stats.detaches.Load(),
+		AttachFails:     p.stats.attachFails.Load(),
+		FramesOut:       p.stats.framesOut.Load(),
+		FramesIn:        p.stats.framesIn.Load(),
+		Failovers:       p.stats.failovers.Load(),
+		LastAttachGW:    gw,
+		LastAttachDur:   dur,
+		LastFailoverDur: fdur,
 	}
 }
 
@@ -241,8 +285,11 @@ func (p *ConnectionProvider) tryAttach() {
 	attachStart := p.clk.Now()
 	candidates := p.gatewayCandidates()
 	if len(candidates) == 0 {
-		// Nothing cached: issue a wildcard query and retry on answer.
+		// Nothing cached: issue a wildcard query and retry on answer. The
+		// answer may only contain blacklisted gateways, in which case the
+		// round still counts as failed below.
 		if _, err := p.agent.Lookup(GatewayServiceType, "", p.cfg.LookupTimeout); err != nil {
+			p.noteAttachFailure()
 			return
 		}
 		candidates = p.gatewayCandidates()
@@ -256,19 +303,112 @@ func (p *ConnectionProvider) tryAttach() {
 			p.gwPort = cand.port
 			p.lastAttachGW = string(cand.node)
 			p.lastAttachDur = dur
+			p.lookupFails = 0
+			p.lastErr = nil
+			var failover time.Duration
+			if !p.detachedAt.IsZero() {
+				failover = p.clk.Now().Sub(p.detachedAt)
+				p.detachedAt = time.Time{}
+				p.lastFailoverDur = failover
+			}
 			p.mu.Unlock()
 			p.stats.attaches.Add(1)
+			if failover > 0 {
+				p.stats.failovers.Add(1)
+				p.obsFailover.Observe(failover)
+			}
 			span.End("gw=" + string(cand.node))
 			p.host.SetDefaultHandler(p.tunnelOut)
 			p.notify(true)
 			return
 		}
 		p.stats.attachFails.Add(1)
+		// A refused or timed-out OPEN quarantines the candidate so the
+		// next round moves straight to an alternative.
+		p.blacklistGateway(cand.node)
 		select {
 		case <-p.stop:
 			return
 		default:
 		}
+	}
+	p.noteAttachFailure()
+}
+
+// noteAttachFailure counts one failed acquisition round; once the budget is
+// spent, ErrNoGateway is surfaced via LastError/WaitAttached. The probe loop
+// keeps running so later rounds can still recover.
+func (p *ConnectionProvider) noteAttachFailure() {
+	if p.cfg.MaxLookupRetries < 0 {
+		return
+	}
+	p.mu.Lock()
+	p.lookupFails++
+	if p.lookupFails >= p.cfg.MaxLookupRetries && p.lastErr == nil {
+		p.lastErr = ErrNoGateway
+	}
+	p.mu.Unlock()
+}
+
+// blacklistGateway quarantines gw for the configured TTL.
+func (p *ConnectionProvider) blacklistGateway(gw netem.NodeID) {
+	if p.cfg.BlacklistTTL <= 0 {
+		return
+	}
+	p.mu.Lock()
+	p.blacklist[gw] = p.clk.Now().Add(p.cfg.BlacklistTTL)
+	p.mu.Unlock()
+}
+
+// Blacklisted lists currently quarantined gateways, sorted.
+func (p *ConnectionProvider) Blacklisted() []netem.NodeID {
+	now := p.clk.Now()
+	p.mu.Lock()
+	out := make([]netem.NodeID, 0, len(p.blacklist))
+	for gw, until := range p.blacklist {
+		if now.Before(until) {
+			out = append(out, gw)
+		}
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LastError returns ErrNoGateway once the acquisition budget has been spent
+// without attaching, nil otherwise. It clears on the next successful attach.
+func (p *ConnectionProvider) LastError() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lastErr
+}
+
+// WaitAttached blocks until the provider attaches (nil), the acquisition
+// budget is exhausted, or the timeout elapses. Both failure returns satisfy
+// errors.Is(err, ErrNoGateway).
+func (p *ConnectionProvider) WaitAttached(timeout time.Duration) error {
+	deadline := p.clk.Now().Add(timeout)
+	poll := p.cfg.ProbeInterval / 4
+	if poll <= 0 {
+		poll = 10 * time.Millisecond
+	}
+	for {
+		p.mu.Lock()
+		attached, lastErr, closed := p.attached, p.lastErr, p.closed
+		p.mu.Unlock()
+		if attached {
+			return nil
+		}
+		if closed {
+			return fmt.Errorf("core: connection provider stopped: %w", ErrNoGateway)
+		}
+		if lastErr != nil {
+			return lastErr
+		}
+		if !p.clk.Now().Before(deadline) {
+			return fmt.Errorf("core: no gateway after %v: %w", timeout, ErrNoGateway)
+		}
+		p.clk.Sleep(poll)
 	}
 }
 
@@ -281,6 +421,17 @@ type gatewayCandidate struct {
 // gatewayCandidates lists reachable-looking gateways from the SLP cache,
 // freshest first.
 func (p *ConnectionProvider) gatewayCandidates() []gatewayCandidate {
+	now := p.clk.Now()
+	p.mu.Lock()
+	quarantined := make(map[netem.NodeID]bool, len(p.blacklist))
+	for gw, until := range p.blacklist {
+		if now.After(until) {
+			delete(p.blacklist, gw)
+			continue
+		}
+		quarantined[gw] = true
+	}
+	p.mu.Unlock()
 	var out []gatewayCandidate
 	for _, svc := range p.agent.Services(GatewayServiceType) {
 		_, addr, err := slp.ParseServiceURL(svc.URL)
@@ -298,6 +449,9 @@ func (p *ConnectionProvider) gatewayCandidates() []gatewayCandidate {
 		gw := netem.NodeID(host)
 		if gw == p.host.ID() {
 			continue // we are the gateway; nothing to tunnel
+		}
+		if quarantined[gw] {
+			continue // known-dead until the blacklist TTL expires
 		}
 		out = append(out, gatewayCandidate{node: gw, port: port, expires: svc.Expires})
 	}
@@ -335,7 +489,7 @@ func (p *ConnectionProvider) pingGateway() {
 	gw, port := p.gateway, p.gwPort
 	p.mu.Unlock()
 	if err := p.conn.WriteTo((&tunnelMsg{Kind: tunPing}).marshal(), gw, port); err != nil {
-		p.detachAndNotify()
+		p.gatewayLost(gw)
 		return
 	}
 	timer := p.clk.NewTimer(p.cfg.AckTimeout)
@@ -343,9 +497,23 @@ func (p *ConnectionProvider) pingGateway() {
 	select {
 	case <-pong:
 	case <-timer.C():
-		p.detachAndNotify()
+		p.gatewayLost(gw)
 	case <-p.stop:
 	}
+}
+
+// gatewayLost handles a dead tunnel: quarantine the gateway, purge its SLP
+// adverts locally so subsequent resolutions do not return stale routes, stamp
+// the failover clock, then detach and notify watchers.
+func (p *ConnectionProvider) gatewayLost(gw netem.NodeID) {
+	if gw != "" {
+		p.blacklistGateway(gw)
+		p.agent.InvalidateOrigin(gw)
+	}
+	p.mu.Lock()
+	p.detachedAt = p.clk.Now()
+	p.mu.Unlock()
+	p.detachAndNotify()
 }
 
 func (p *ConnectionProvider) detach() {
@@ -422,6 +590,15 @@ func (p *ConnectionProvider) recvLoop() {
 			}
 			p.stats.framesIn.Add(1)
 			p.host.InjectDatagram(inner)
+		case tunClose:
+			// The gateway announced a graceful shutdown: fail over now
+			// instead of waiting for the next ping to time out.
+			p.mu.Lock()
+			current := p.attached && dg.SrcNode == p.gateway
+			p.mu.Unlock()
+			if current {
+				p.gatewayLost(dg.SrcNode)
+			}
 		}
 	}
 }

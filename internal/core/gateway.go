@@ -187,8 +187,15 @@ func (g *GatewayProvider) Stop() {
 
 	g.agent.Deregister(GatewayServiceType, string(g.host.ID()))
 	for _, c := range clients {
+		// Graceful shutdown: tell each client the tunnel is gone so its
+		// Connection Provider fails over immediately instead of waiting for
+		// a ping timeout.
+		_ = g.conn.WriteTo((&tunnelMsg{Kind: tunClose}).marshal(), c.node, c.peer)
 		g.inet.RemoveHost(c.node)
 	}
+	// Withdraw the gateway's own Internet presence too, or the node can
+	// never come back as a gateway under the same ID.
+	g.inet.RemoveHost(g.host.ID())
 	g.host.SetDefaultHandler(nil)
 	close(g.stop)
 	g.conn.Close()

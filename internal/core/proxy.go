@@ -32,6 +32,14 @@ type ProxyConfig struct {
 	SLPTimeoutAttached time.Duration
 	// BindingTTL is the registrar binding lifetime (default 60s).
 	BindingTTL time.Duration
+	// ResolveRetries is how many times an INVITE whose SLP-resolved next hop
+	// never answers (retransmissions exhausted, not even a provisional) is
+	// re-resolved and re-sent after evicting the stale cache entry
+	// (default 2; negative disables).
+	ResolveRetries int
+	// ResolveBackoff is the wait before the first re-resolution; it doubles
+	// per retry and is capped at 8x (default 100ms).
+	ResolveBackoff time.Duration
 	// DNS resolves an Internet SIP domain to its proxy address. The
 	// default maps a domain to host <domain>:5060, the RFC 3261 rule the
 	// paper relies on ("the SIP proxy can be deduced from the domain part
@@ -61,6 +69,12 @@ func (c ProxyConfig) withDefaults() ProxyConfig {
 	if c.BindingTTL == 0 {
 		c.BindingTTL = 60 * time.Second
 	}
+	if c.ResolveRetries == 0 {
+		c.ResolveRetries = 2
+	}
+	if c.ResolveBackoff == 0 {
+		c.ResolveBackoff = 100 * time.Millisecond
+	}
 	if c.DNS == nil {
 		c.DNS = func(domain string) sip.Addr {
 			return sip.Addr{Node: netem.NodeID(domain), Port: sip.DefaultPort}
@@ -77,45 +91,51 @@ func (c ProxyConfig) withDefaults() ProxyConfig {
 
 // ProxyStats counts proxy activity.
 type ProxyStats struct {
-	Registers       int64
-	RequestsRouted  int64
-	LocalDeliveries int64 // resolved to a locally registered UA
-	SLPResolutions  int64 // resolved via MANET SLP
-	InternetRouted  int64 // resolved to an Internet provider
-	EndpointRouted  int64 // explicit host:port Request-URIs
-	RouteFollowed   int64 // in-dialog requests following their Route set
-	Unresolved      int64 // answered 404/480
-	UpstreamRegOK   int64
-	UpstreamRegFail int64
+	Registers        int64
+	RequestsRouted   int64
+	LocalDeliveries  int64 // resolved to a locally registered UA
+	SLPResolutions   int64 // resolved via MANET SLP
+	InternetRouted   int64 // resolved to an Internet provider
+	EndpointRouted   int64 // explicit host:port Request-URIs
+	RouteFollowed    int64 // in-dialog requests following their Route set
+	Unresolved       int64 // answered 404/480
+	SLPEvictions     int64 // stale SLP results evicted after silent next hops
+	SLPReresolutions int64 // INVITE retries sent to a freshly resolved hop
+	UpstreamRegOK    int64
+	UpstreamRegFail  int64
 }
 
 // proxyCounters is the live, atomically updated form of ProxyStats, so
 // snapshots never race with the routing path.
 type proxyCounters struct {
-	registers       atomic.Int64
-	requestsRouted  atomic.Int64
-	localDeliveries atomic.Int64
-	slpResolutions  atomic.Int64
-	internetRouted  atomic.Int64
-	endpointRouted  atomic.Int64
-	routeFollowed   atomic.Int64
-	unresolved      atomic.Int64
-	upstreamRegOK   atomic.Int64
-	upstreamRegFail atomic.Int64
+	registers        atomic.Int64
+	requestsRouted   atomic.Int64
+	localDeliveries  atomic.Int64
+	slpResolutions   atomic.Int64
+	internetRouted   atomic.Int64
+	endpointRouted   atomic.Int64
+	routeFollowed    atomic.Int64
+	unresolved       atomic.Int64
+	slpEvictions     atomic.Int64
+	slpReresolutions atomic.Int64
+	upstreamRegOK    atomic.Int64
+	upstreamRegFail  atomic.Int64
 }
 
 func (c *proxyCounters) snapshot() ProxyStats {
 	return ProxyStats{
-		Registers:       c.registers.Load(),
-		RequestsRouted:  c.requestsRouted.Load(),
-		LocalDeliveries: c.localDeliveries.Load(),
-		SLPResolutions:  c.slpResolutions.Load(),
-		InternetRouted:  c.internetRouted.Load(),
-		EndpointRouted:  c.endpointRouted.Load(),
-		RouteFollowed:   c.routeFollowed.Load(),
-		Unresolved:      c.unresolved.Load(),
-		UpstreamRegOK:   c.upstreamRegOK.Load(),
-		UpstreamRegFail: c.upstreamRegFail.Load(),
+		Registers:        c.registers.Load(),
+		RequestsRouted:   c.requestsRouted.Load(),
+		LocalDeliveries:  c.localDeliveries.Load(),
+		SLPResolutions:   c.slpResolutions.Load(),
+		InternetRouted:   c.internetRouted.Load(),
+		EndpointRouted:   c.endpointRouted.Load(),
+		RouteFollowed:    c.routeFollowed.Load(),
+		Unresolved:       c.unresolved.Load(),
+		SLPEvictions:     c.slpEvictions.Load(),
+		SLPReresolutions: c.slpReresolutions.Load(),
+		UpstreamRegOK:    c.upstreamRegOK.Load(),
+		UpstreamRegFail:  c.upstreamRegFail.Load(),
 	}
 }
 
@@ -435,17 +455,21 @@ func (p *Proxy) routeStateful(tx *sip.ServerTx) {
 		}}
 		fwd.RecordRoute = append([]*sip.NameAddr{rr}, fwd.RecordRoute...)
 	}
-	ct, err := p.stack.SendRequest(fwd, dst)
-	if err != nil {
-		_ = tx.RespondCode(sip.StatusInternalError, "")
-		return
+	// Stateful send with bounded recovery: when an SLP-resolved next hop has
+	// gone stale (callee moved, node crashed), the downstream transaction
+	// exhausts its retransmissions in silence. For INVITEs that never drew a
+	// provisional, evict the stale cache entry, back off, re-resolve and try
+	// the fresh route — capped by ResolveRetries — before answering 408.
+	aor := req.RequestURI.AddressOfRecord()
+	pristine := fwd.Clone() // pre-Via copy; each retry restarts from here
+	retries := p.cfg.ResolveRetries
+	if req.Method != sip.MethodInvite {
+		retries = 0
 	}
+	branch := ""
 	if req.Method == sip.MethodInvite {
 		if v := req.TopVia(); v != nil {
-			branch := v.Branch()
-			p.mu.Lock()
-			p.invites[branch] = &inviteForward{fwd: fwd, dst: dst}
-			p.mu.Unlock()
+			branch = v.Branch()
 			defer func() {
 				p.mu.Lock()
 				delete(p.invites, branch)
@@ -453,24 +477,83 @@ func (p *Proxy) routeStateful(tx *sip.ServerTx) {
 			}()
 		}
 	}
-	p.recordResolution(kind)
-	for resp := range ct.Responses() {
-		up := resp.Clone()
-		if len(up.Via) > 0 {
-			up.Via = up.Via[1:] // pop our Via
+	recorded := false
+	for attempt := 0; ; attempt++ {
+		msg := fwd
+		if attempt > 0 {
+			msg = pristine.Clone()
 		}
-		if len(up.Via) == 0 {
-			continue
-		}
-		if up.StatusCode == sip.StatusTrying {
-			continue // hop-by-hop only
-		}
-		_ = tx.Respond(up)
-		if resp.StatusCode >= 200 {
+		ct, err := p.stack.SendRequest(msg, dst)
+		if err != nil {
+			_ = tx.RespondCode(sip.StatusInternalError, "")
 			return
 		}
+		if branch != "" {
+			// Point the CANCEL chase at the latest downstream attempt.
+			p.mu.Lock()
+			p.invites[branch] = &inviteForward{fwd: msg, dst: dst}
+			p.mu.Unlock()
+		}
+		if !recorded {
+			p.recordResolution(kind)
+			recorded = true
+		}
+		gotProvisional := false
+		for resp := range ct.Responses() {
+			if resp.IsLocalTimeout() {
+				// The downstream transaction expired without any network
+				// response: a dead next hop, not a slow callee. Break out
+				// so the recovery logic below decides what the caller sees.
+				break
+			}
+			up := resp.Clone()
+			if len(up.Via) > 0 {
+				up.Via = up.Via[1:] // pop our Via
+			}
+			if len(up.Via) == 0 {
+				continue
+			}
+			if up.StatusCode == sip.StatusTrying {
+				continue // hop-by-hop only
+			}
+			if up.StatusCode < 200 {
+				gotProvisional = true
+			}
+			_ = tx.Respond(up)
+			if resp.StatusCode >= 200 {
+				return
+			}
+		}
+		// Transaction exhausted. A provisional means the callee was reached
+		// and answered once — the route is live, so re-resolving cannot
+		// help; the same goes for non-SLP routes.
+		if gotProvisional || kind != "slp" || attempt >= retries {
+			break
+		}
+		p.agent.Evict(SIPServiceType, aor)
+		p.stats.slpEvictions.Add(1)
+		delay := p.cfg.ResolveBackoff << attempt
+		if max := 8 * p.cfg.ResolveBackoff; delay > max {
+			delay = max
+		}
+		if delay > 0 {
+			t := p.clk.NewTimer(delay)
+			<-t.C()
+		}
+		retrySpan := p.obs.StartSpan(req.CallID, obs.PhaseSLPResolve, string(p.host.ID()))
+		dst, kind, failCode = p.nextHopFor(pristine)
+		retrySpan.End("kind=" + kind + " retry")
+		if kind == "" {
+			p.stats.unresolved.Add(1)
+			_ = tx.RespondCode(failCode, "")
+			return
+		}
+		p.stats.slpReresolutions.Add(1)
+		// Refresh the caller's patience (its Proceeding deadline re-arms
+		// from the latest provisional) before the next downstream attempt.
+		_ = tx.RespondCode(sip.StatusTrying, "")
 	}
-	// Downstream transaction timed out without a final response.
+	// No final response despite recovery attempts.
 	_ = tx.RespondCode(sip.StatusRequestTimeout, "")
 }
 

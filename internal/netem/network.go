@@ -117,6 +117,12 @@ type Network struct {
 
 	lossBits atomic.Uint64 // math.Float64bits of the live loss rate
 
+	// linkQuality holds per-link loss/latency overrides, copy-on-write so
+	// the send path reads it with one atomic load. Nil means no overrides
+	// anywhere — the steady state — and the send path stays on the global
+	// fast path.
+	linkQuality atomic.Pointer[map[linkKey]LinkQuality]
+
 	stats counters
 	tap   atomic.Pointer[func(Frame)]
 	udp   atomic.Pointer[udpUnderlay]
@@ -252,6 +258,68 @@ func (n *Network) SetTap(fn func(Frame)) {
 // SetLossRate changes the per-frame drop probability at runtime.
 func (n *Network) SetLossRate(p float64) {
 	n.lossBits.Store(math.Float64bits(p))
+}
+
+// LinkQuality overrides the medium's behaviour on one specific link,
+// modelling a degraded radio path (interference, marginal range) without
+// touching the global knobs.
+type LinkQuality struct {
+	// Loss replaces the global LossRate for frames crossing the link, in
+	// [0,1). Zero keeps the global rate.
+	Loss float64
+	// ExtraDelay is added to the propagation delay of frames crossing the
+	// link.
+	ExtraDelay time.Duration
+}
+
+// SetLinkQuality installs a per-link loss/latency override between a and b
+// (both directions). The override does not change connectivity — use SetLink
+// for cuts.
+func (n *Network) SetLinkQuality(a, b NodeID, q LinkQuality) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	next := make(map[linkKey]LinkQuality)
+	if cur := n.linkQuality.Load(); cur != nil {
+		for k, v := range *cur {
+			next[k] = v
+		}
+	}
+	next[orderedKey(a, b)] = q
+	n.linkQuality.Store(&next)
+}
+
+// ClearLinkQuality removes a SetLinkQuality override.
+func (n *Network) ClearLinkQuality(a, b NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	cur := n.linkQuality.Load()
+	if cur == nil {
+		return
+	}
+	next := make(map[linkKey]LinkQuality, len(*cur))
+	for k, v := range *cur {
+		next[k] = v
+	}
+	delete(next, orderedKey(a, b))
+	if len(next) == 0 {
+		n.linkQuality.Store(nil)
+		return
+	}
+	n.linkQuality.Store(&next)
+}
+
+// qualityFor returns the effective loss rate and extra delay for one link
+// under the override map m.
+func qualityFor(m *map[linkKey]LinkQuality, a, b NodeID, global float64) (rate float64, extra time.Duration) {
+	q, ok := (*m)[orderedKey(a, b)]
+	if !ok {
+		return global, 0
+	}
+	rate = global
+	if q.Loss > 0 {
+		rate = q.Loss
+	}
+	return rate, q.ExtraDelay
 }
 
 func (n *Network) lossRate() float64 {
@@ -438,14 +506,47 @@ func (n *Network) send(f Frame) error {
 	}
 	// Jitter and loss share one critical section so a given Seed produces
 	// one deterministic draw sequence: jitter first, then an independent
-	// loss draw per receiver in sorted-ID order.
+	// loss draw per receiver in sorted-ID order. Per-link quality overrides
+	// keep that exact order — each receiver's draw just uses its own rate.
 	lossRate := n.lossRate()
-	if n.cfg.DelayJitter > 0 || lossRate > 0 {
+	lq := n.linkQuality.Load()
+	var slow []*Host // broadcast receivers peeled off by per-link ExtraDelay
+	var slowExtra []time.Duration
+	if n.cfg.DelayJitter > 0 || lossRate > 0 || lq != nil {
 		n.rngMu.Lock()
 		if n.cfg.DelayJitter > 0 {
 			delay += time.Duration(n.rng.Int63n(int64(n.cfg.DelayJitter)))
 		}
-		if lossRate > 0 {
+		switch {
+		case lq != nil:
+			if one != nil {
+				rate, extra := qualityFor(lq, f.Src, f.Dst, lossRate)
+				if rate > 0 && n.rng.Float64() < rate {
+					one = nil
+					n.stats.lost.Add(1)
+					n.obsLost.Inc()
+				} else {
+					delay += extra
+				}
+			} else if len(many) > 0 {
+				kept := make([]*Host, 0, len(many))
+				for _, h := range many {
+					rate, extra := qualityFor(lq, f.Src, h.ID(), lossRate)
+					if rate > 0 && n.rng.Float64() < rate {
+						n.stats.lost.Add(1)
+						n.obsLost.Inc()
+						continue
+					}
+					if extra > 0 {
+						slow = append(slow, h)
+						slowExtra = append(slowExtra, extra)
+						continue
+					}
+					kept = append(kept, h)
+				}
+				many = kept
+			}
+		case lossRate > 0:
 			if one != nil {
 				if n.rng.Float64() < lossRate {
 					one = nil
@@ -470,12 +571,20 @@ func (n *Network) send(f Frame) error {
 	if delay < 0 {
 		delay = 0 // UDP underlay: the real network provides latency
 	}
+	now := n.cfg.Clock.Now()
 	if one != nil || len(many) > 0 {
 		d := deliveryPool.Get().(*delivery)
-		d.due = n.cfg.Clock.Now().Add(delay)
+		d.due = now.Add(delay)
 		d.frame = f
 		d.one = one
 		d.many = many
+		n.sched.schedule(d)
+	}
+	for i, h := range slow {
+		d := deliveryPool.Get().(*delivery)
+		d.due = now.Add(delay + slowExtra[i])
+		d.frame = f
+		d.one = h
 		n.sched.schedule(d)
 	}
 	if udp := n.udp.Load(); udp != nil {

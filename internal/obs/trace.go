@@ -37,6 +37,10 @@ const (
 	// PhaseMediaStart runs from the dialog confirming to the first RTP
 	// packet received — the media-path warm-up after signalling.
 	PhaseMediaStart = "media.start"
+	// PhaseFault marks an injected fault (link cut, partition, node crash,
+	// gateway churn). Node-scoped and instantaneous: it annotates call
+	// timelines without participating in the setup-window tiling.
+	PhaseFault = "fault.inject"
 )
 
 // Span is one timed operation attributed to a call (CallID set) or to a node

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"time"
 
 	"siphoc/internal/obs"
 )
@@ -21,9 +22,13 @@ type ClientTx struct {
 	finalSent  bool
 	terminated bool
 	retrans    int
-	responses  chan *Message
-	done       chan struct{}
-	doneOnce   sync.Once
+	// lastProv stamps the most recent provisional response. For INVITE it
+	// moves the transaction to Proceeding: retransmissions stop and the
+	// Timer B deadline is re-armed from it (RFC 3261 §17.1.1.2).
+	lastProv  time.Time
+	responses chan *Message
+	done      chan struct{}
+	doneOnce  sync.Once
 
 	// span traces this leg (INVITE only, observer enabled only); the zero
 	// handle no-ops.
@@ -33,6 +38,18 @@ type ClientTx struct {
 // ErrTimeout is delivered as a synthetic 408 response when a client
 // transaction expires without any response.
 var ErrTimeout = fmt.Errorf("sip: transaction timeout")
+
+// localTimeoutReason marks the synthetic 408 a client transaction delivers
+// when it expires without any network response.
+const localTimeoutReason = "Request Timeout (local)"
+
+// IsLocalTimeout reports whether m is the synthetic 408 generated locally on
+// client-transaction expiry — the next hop never answered — as opposed to a
+// 408 answered by the peer. Proxies use this to tell a dead route from a
+// slow callee.
+func (m *Message) IsLocalTimeout() bool {
+	return m.StatusCode == StatusRequestTimeout && m.Reason == localTimeoutReason
+}
 
 func newClientTx(s *Stack, req *Message, dst Addr) *ClientTx {
 	return &ClientTx{
@@ -112,6 +129,7 @@ func (tx *ClientTx) run() {
 
 	interval := s.cfg.T1
 	deadline := s.clk.Now().Add(64 * s.cfg.T1) // Timer B / F
+	proceeding := false
 	for {
 		timer := s.clk.NewTimer(interval)
 		select {
@@ -125,16 +143,30 @@ func (tx *ClientTx) run() {
 		case <-timer.C():
 		}
 		tx.mu.Lock()
-		final := tx.finalSent
+		final, lastProv := tx.finalSent, tx.lastProv
 		tx.mu.Unlock()
 		if final {
 			return
 		}
-		if s.clk.Now().After(deadline) {
+		if tx.req.Method == MethodInvite && !lastProv.IsZero() {
+			// Proceeding: a provisional means the next hop is alive, so
+			// re-arm the Timer B deadline from the latest provisional
+			// rather than giving up mid-setup — upstream proxies refresh
+			// it with 100 Trying while they retry a dead route. Unlike RFC
+			// 3261 §17.1.1.2 we keep retransmitting: the downstream server
+			// transaction replays its recorded final on each retransmitted
+			// request, which is how a 200 OK lost on the radio is
+			// recovered.
+			proceeding = true
+			if d := lastProv.Add(256 * s.cfg.T1); d.After(deadline) {
+				deadline = d
+			}
+		}
+		if !s.clk.Now().Before(deadline) {
 			// Timeout: synthesize a 408 so callers see a final answer.
 			s.obsTimeouts.Inc()
 			tx.endSpan("timeout")
-			resp := NewResponse(tx.req, StatusRequestTimeout, "Request Timeout (local)")
+			resp := NewResponse(tx.req, StatusRequestTimeout, localTimeoutReason)
 			tx.deliver(resp)
 			tx.terminate()
 			return
@@ -145,7 +177,7 @@ func (tx *ClientTx) run() {
 		tx.retrans++
 		tx.mu.Unlock()
 		interval *= 2
-		if tx.req.Method != MethodInvite && interval > s.cfg.T2 {
+		if (tx.req.Method != MethodInvite || proceeding) && interval > s.cfg.T2 {
 			interval = s.cfg.T2
 		}
 	}
@@ -160,6 +192,8 @@ func (tx *ClientTx) onResponse(m *Message) {
 	final := m.StatusCode >= 200
 	if final {
 		tx.finalSent = true
+	} else {
+		tx.lastProv = tx.stack.clk.Now()
 	}
 	tx.mu.Unlock()
 	if final {
@@ -312,21 +346,34 @@ func (tx *ServerTx) onRequest(m *Message) {
 	}
 }
 
-// scheduleExpiry arms the transaction lifetime (Timer J/H analogue).
+// scheduleExpiry arms the transaction lifetime (Timer J/H analogue). A
+// transaction still awaiting the TU's final response is kept alive — the
+// Proceeding state has no expiry (RFC 3261 §17.2.1) — so request
+// retransmissions keep hitting the same transaction while a proxy is off
+// retrying a dead route, instead of spawning a duplicate routing attempt.
 func (tx *ServerTx) scheduleExpiry() {
 	s := tx.stack
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		timer := s.clk.NewTimer(64 * s.cfg.T1)
-		select {
-		case <-s.stop:
-			timer.Stop()
-		case <-timer.C():
+		for {
+			timer := s.clk.NewTimer(64 * s.cfg.T1)
+			select {
+			case <-s.stop:
+				timer.Stop()
+			case <-timer.C():
+				tx.mu.Lock()
+				done := tx.lastResp != nil || tx.ackOnly
+				tx.mu.Unlock()
+				if !done {
+					continue
+				}
+			}
+			tx.mu.Lock()
+			tx.finished = true
+			tx.mu.Unlock()
+			s.removeServerTx(tx.key)
+			return
 		}
-		tx.mu.Lock()
-		tx.finished = true
-		tx.mu.Unlock()
-		s.removeServerTx(tx.key)
 	}()
 }

@@ -260,6 +260,31 @@ func (a *Agent) Deregister(stype, key string) {
 	a.cache.remove(stype, key)
 }
 
+// Evict drops one learned cache entry without touching local registrations —
+// the hook consumers use when a resolved service turns out to be stale (the
+// advertising node stopped answering). A fresh advert from the network
+// re-installs the entry; local registrations are never evicted.
+func (a *Agent) Evict(stype, key string) {
+	a.mu.Lock()
+	_, local := a.local[cacheKey{stype, key}]
+	a.mu.Unlock()
+	if local {
+		return
+	}
+	a.cache.remove(stype, key)
+}
+
+// InvalidateOrigin drops every cache entry learned from origin, returning
+// how many were evicted. This is the fault-event hook: when a node is known
+// to have crashed, its adverts must not be served until natural TTL expiry.
+// Local registrations (origin == self) are never touched.
+func (a *Agent) InvalidateOrigin(origin netem.NodeID) int {
+	if origin == a.host.ID() {
+		return 0
+	}
+	return a.cache.removeOrigin(origin)
+}
+
 // LookupCached returns the locally known service, if any. An empty key is a
 // wildcard matching any service of the type.
 func (a *Agent) LookupCached(stype, key string) (Service, bool) {

@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"siphoc/internal/netem"
 )
 
 type cacheKey struct {
@@ -111,6 +113,22 @@ func (c *cache) remove(stype, key string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	delete(c.entries, cacheKey{stype, key})
+}
+
+// removeOrigin drops every entry learned from origin, returning how many
+// were evicted — the fault-invalidation hook for crashed nodes, whose
+// adverts would otherwise be served until natural TTL expiry.
+func (c *cache) removeOrigin(origin netem.NodeID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for k, svc := range c.entries {
+		if svc.Origin == origin {
+			delete(c.entries, k)
+			n++
+		}
+	}
+	return n
 }
 
 // snapshot returns live entries, optionally filtered by type, sorted by

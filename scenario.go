@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"siphoc/internal/clock"
+	"siphoc/internal/core"
 	"siphoc/internal/internet"
 	"siphoc/internal/netem"
 	"siphoc/internal/obs"
@@ -276,7 +277,11 @@ func (s *Scenario) AddInternetPhoneWithPassword(user, password, domain string, h
 }
 
 // WaitAttached blocks until the node reports Internet connectivity or the
-// timeout elapses.
+// timeout elapses. For nodes with a Connection Provider the timeout error
+// wraps core.ErrNoGateway (re-exported as ErrNoGateway), so callers can
+// errors.Is the "no usable gateway" condition. The wait spans the whole
+// timeout even while the provider's own retry budget is exhausted: a
+// gateway appearing late still attaches the node.
 func (s *Scenario) WaitAttached(n *Node, timeout time.Duration) error {
 	deadline := s.clk.Now().Add(timeout)
 	for {
@@ -284,6 +289,9 @@ func (s *Scenario) WaitAttached(n *Node, timeout time.Duration) error {
 			return nil
 		}
 		if s.clk.Now().After(deadline) {
+			if n.connp != nil {
+				return fmt.Errorf("siphoc: node %s not attached after %v: %w", n.ID(), timeout, core.ErrNoGateway)
+			}
 			return fmt.Errorf("siphoc: node %s never attached to the Internet", n.ID())
 		}
 		s.clk.Sleep(10 * time.Millisecond)

@@ -74,6 +74,15 @@ type (
 	SIPAddr = sip.Addr
 	// NetworkStats counts traffic on the radio medium by frame class.
 	NetworkStats = netem.Stats
+	// FaultPlan is a deterministic, seeded schedule of network faults; see
+	// FaultScenario for the scenario-level harness built on it.
+	FaultPlan = netem.FaultPlan
+	// FaultRecord is one executed fault in a plan's replayable log.
+	FaultRecord = netem.FaultRecord
+	// FaultKind classifies an injected fault.
+	FaultKind = netem.FaultKind
+	// LinkQuality is a per-link loss/latency override used by fault plans.
+	LinkQuality = netem.LinkQuality
 	// ProxyStats counts SIPHoc proxy activity.
 	ProxyStats = core.ProxyStats
 	// GatewayStats counts Gateway Provider activity (tunnels, frames).
@@ -124,3 +133,8 @@ const (
 	SLPPiggyback = slp.ModePiggyback
 	SLPMulticast = slp.ModeMulticast
 )
+
+// ErrNoGateway is the typed error surfaced when a node exhausts its gateway
+// acquisition budget (or a bounded wait for attachment times out): no usable
+// gateway is reachable. Test with errors.Is.
+var ErrNoGateway = core.ErrNoGateway
