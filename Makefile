@@ -27,6 +27,7 @@ cover:
 check:
 	$(GO) vet ./...
 	$(GO) test -race -run 'TestCallTrace|TestMetrics|TestDialContext' .
+	$(GO) test -race -short -run 'TestControlScaleSmoke' .
 	$(GO) test -race -run 'Fault|Partition|LinkQuality|Gateway|Proxy' ./internal/netem/ ./internal/core/ ./internal/slp/
 	$(GO) test -race ./internal/rtp/
 	$(GO) test -race ./...
@@ -38,6 +39,7 @@ bench:
 	$(GO) test -run '^$$' -bench 'SIP' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_sip.json
 	$(GO) test -run '^$$' -bench 'ObsOverhead' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_obs.json
 	$(GO) test -run '^$$' -bench 'VoiceFrame|PacketParse|MediaScale' -benchmem ./internal/rtp/ | $(GO) run ./cmd/benchjson > BENCH_rtp.json
+	$(GO) test -run '^$$' -bench 'ControlScale' -benchtime 1x -timeout 20m . | $(GO) run ./cmd/benchjson > BENCH_scale.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...

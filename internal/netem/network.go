@@ -108,7 +108,10 @@ type Network struct {
 	linkOverride map[linkKey]bool
 	adj          map[NodeID]*neighborhood
 	grid         map[gridCell][]NodeID
-	closed       bool
+	// nodesCache is the sorted node-ID snapshot, invalidated on the same
+	// topology epoch as adj. Immutable once published.
+	nodesCache []NodeID
+	closed     bool
 
 	// rngMu serializes loss/jitter draws so a given Seed yields one
 	// deterministic sequence, independent of stats or topology locking.
@@ -326,20 +329,24 @@ func (n *Network) lossRate() float64 {
 	return math.Float64frombits(n.lossBits.Load())
 }
 
-// invalidateLocked bumps the topology epoch: every cached neighbourhood and
-// the spatial grid are discarded and recomputed lazily on next use.
+// invalidateLocked bumps the topology epoch: every cached neighbourhood, the
+// spatial grid and the node-list snapshot are discarded and recomputed lazily
+// on next use.
 func (n *Network) invalidateLocked() {
 	clear(n.adj)
 	n.grid = nil
+	n.nodesCache = nil
 }
 
-// Neighbors returns the nodes currently in radio range of id, sorted.
+// Neighbors returns the nodes currently in radio range of id, sorted. The
+// slice is a shared immutable snapshot — it is replaced, never mutated, on
+// topology changes — so callers must not modify it.
 func (n *Network) Neighbors(id NodeID) []NodeID {
 	nb := n.neighborhoodOf(id)
 	if len(nb.ids) == 0 {
 		return nil
 	}
-	return append([]NodeID(nil), nb.ids...)
+	return nb.ids
 }
 
 // neighborhoodOf returns the cached receiver set for id, computing it on a
@@ -447,15 +454,27 @@ func (n *Network) connectedLocked(a, b NodeID) bool {
 	return oka && okb && pa.Distance(pb) <= n.cfg.Range
 }
 
-// Nodes returns all attached node IDs, sorted.
+// Nodes returns all attached node IDs, sorted. The slice is a shared
+// immutable snapshot cached on the topology epoch (the same invalidation as
+// the adjacency cache), so callers must not modify it.
 func (n *Network) Nodes() []NodeID {
 	n.mu.RLock()
-	defer n.mu.RUnlock()
+	cached := n.nodesCache
+	n.mu.RUnlock()
+	if cached != nil {
+		return cached
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.nodesCache != nil {
+		return n.nodesCache
+	}
 	out := make([]NodeID, 0, len(n.hosts))
 	for id := range n.hosts {
 		out = append(out, id)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	n.nodesCache = out
 	return out
 }
 
@@ -572,20 +591,37 @@ func (n *Network) send(f Frame) error {
 		delay = 0 // UDP underlay: the real network provides latency
 	}
 	now := n.cfg.Clock.Now()
-	if one != nil || len(many) > 0 {
-		d := deliveryPool.Get().(*delivery)
-		d.due = now.Add(delay)
-		d.frame = f
-		d.one = one
-		d.many = many
-		n.sched.schedule(d)
-	}
-	for i, h := range slow {
-		d := deliveryPool.Get().(*delivery)
-		d.due = now.Add(delay + slowExtra[i])
-		d.frame = f
-		d.one = h
-		n.sched.schedule(d)
+	if len(slow) == 0 {
+		// Steady state: one delivery object covers the whole receiver set
+		// (broadcast shares the cached host slice), one heap insertion.
+		if one != nil || len(many) > 0 {
+			d := deliveryPool.Get().(*delivery)
+			d.due = now.Add(delay)
+			d.frame = f
+			d.one = one
+			d.many = many
+			n.sched.schedule(d)
+		}
+	} else {
+		// Per-link delay overrides split the fan-out across deadlines;
+		// enqueue the whole batch under one heap lock acquisition.
+		batch := make([]*delivery, 0, 1+len(slow))
+		if one != nil || len(many) > 0 {
+			d := deliveryPool.Get().(*delivery)
+			d.due = now.Add(delay)
+			d.frame = f
+			d.one = one
+			d.many = many
+			batch = append(batch, d)
+		}
+		for i, h := range slow {
+			d := deliveryPool.Get().(*delivery)
+			d.due = now.Add(delay + slowExtra[i])
+			d.frame = f
+			d.one = h
+			batch = append(batch, d)
+		}
+		n.sched.scheduleBatch(batch)
 	}
 	if udp := n.udp.Load(); udp != nil {
 		udp.transmit(f)

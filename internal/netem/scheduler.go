@@ -91,10 +91,39 @@ func (s *scheduler) schedule(d *delivery) {
 	first := s.heap[0] == d
 	s.mu.Unlock()
 	if first {
-		select {
-		case s.wake <- struct{}{}:
-		default:
+		s.wakeUp()
+	}
+}
+
+// scheduleBatch queues several deliveries from one frame under a single lock
+// acquisition — the fan-out path where per-link quality overrides peel
+// receivers onto their own deadlines would otherwise take the heap lock once
+// per receiver. Sequence numbers are assigned in slice order, preserving the
+// per-link FIFO tie-break.
+func (s *scheduler) scheduleBatch(ds []*delivery) {
+	if len(ds) == 0 {
+		return
+	}
+	s.mu.Lock()
+	newHead := false
+	for _, d := range ds {
+		d.seq = s.seq
+		s.seq++
+		heap.Push(&s.heap, d)
+		if s.heap[0] == d {
+			newHead = true
 		}
+	}
+	s.mu.Unlock()
+	if newHead {
+		s.wakeUp()
+	}
+}
+
+func (s *scheduler) wakeUp() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
 	}
 }
 

@@ -1,0 +1,239 @@
+package olsr
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"siphoc/internal/netem"
+)
+
+// gridConfig returns protocol timing sustainable for a ~100-node grid on
+// modest hardware. SimConfig's 40 ms HELLO / 80 ms TC is fine for small
+// chains and cliques, but at 100 nodes the O(N²) TC flood volume outruns
+// available CPU, timers slip past the hold times and links flap — churn
+// that is real protocol behaviour under starvation, not a bug to hide.
+func gridConfig() Config {
+	return Config{
+		HelloInterval: 200 * time.Millisecond,
+		TCInterval:    500 * time.Millisecond,
+		RouteWait:     15 * time.Second,
+	}
+}
+
+// startGrid builds a side×side OLSR grid with 80 m spacing (4-neighbour
+// connectivity at 100 m range) and returns the network and protocols.
+func startGrid(t *testing.T, side int) (*netem.Network, []*netem.Host, []*Protocol) {
+	t.Helper()
+	net := netem.NewNetwork(netem.Config{BaseDelay: 100 * time.Microsecond})
+	t.Cleanup(net.Close)
+	hosts, err := netem.Grid(net, side, side, 80, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	protos := make([]*Protocol, len(hosts))
+	for i, h := range hosts {
+		protos[i] = New(h, gridConfig())
+		if err := protos[i].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, p := range protos {
+			p.Stop()
+		}
+	})
+	return net, hosts, protos
+}
+
+// waitQuiescent blocks until no node has executed a recompute for a full
+// stability window: at that point every scheduled trailing rebuild has
+// drained, so the incremental tables are in sync with the link-state inputs
+// and a golden comparison races nothing. (The hold-down coalescing lets the
+// table legitimately lag arrivals by HelloInterval/2, so comparing while
+// changes are still propagating would report phantom divergence.)
+func waitQuiescent(t *testing.T, protos []*Protocol, timeout time.Duration) {
+	t.Helper()
+	total := func() int64 {
+		var n int64
+		for _, p := range protos {
+			n += p.Stats().Recompute
+		}
+		return n
+	}
+	const stable = 1 * time.Second
+	deadline := time.Now().Add(timeout)
+	last, since := total(), time.Now()
+	for time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+		if cur := total(); cur != last {
+			last, since = cur, time.Now()
+			continue
+		}
+		if time.Since(since) >= stable {
+			return
+		}
+	}
+	t.Fatalf("network never quiesced within %v (recomputes still advancing)", timeout)
+}
+
+// checkGolden asserts, for every node, that the incrementally maintained
+// table is bit-identical to a forced full MPR+BFS rebuild from the same
+// link-state inputs. The network must be quiescent when called.
+func checkGolden(t *testing.T, protos []*Protocol, phase string) {
+	t.Helper()
+	for i, p := range protos {
+		before := p.Routes()
+		p.recomputeFull()
+		after := p.Routes()
+		if !reflect.DeepEqual(before, after) {
+			t.Fatalf("%s: node %d incremental table diverged from full recompute:\nincremental: %+v\nfull:        %+v",
+				phase, i, before, after)
+		}
+	}
+}
+
+// TestIncrementalFullEquivalenceGolden drives a seeded random-waypoint
+// mobility trace over a 10×10 grid and, at every quiescent checkpoint,
+// verifies the incremental route maintenance (dirty tracking + input-hash
+// skipping) produces exactly the table a full recompute would.
+func TestIncrementalFullEquivalenceGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mobility trace too slow for -short")
+	}
+	net, hosts, protos := startGrid(t, 10)
+
+	// Let the static grid converge corner-to-corner, drain the trailing
+	// rebuilds, then check the baseline.
+	waitForRoute(t, protos[0], hosts[len(hosts)-1].ID(), 30*time.Second)
+	waitQuiescent(t, protos, 30*time.Second)
+	checkGolden(t, protos, "static grid")
+
+	// Seeded mobility: a few movement bursts, each followed by a settle
+	// to quiescence so in-flight updates drain before the equivalence
+	// check.
+	wp := netem.NewWaypoint(net, 800, 800, 20, 40, 42)
+	for burst := range 3 {
+		for range 5 {
+			wp.Step(0.5)
+			time.Sleep(30 * time.Millisecond)
+		}
+		waitQuiescent(t, protos, 30*time.Second)
+		checkGolden(t, protos, fmt.Sprintf("after mobility burst %d", burst))
+	}
+}
+
+// TestRecomputeRegressionBound pins the control-plane win: on a converged
+// static 10×10 grid, steady-state HELLO/TC refreshes re-advertise unchanged
+// state, so executed recomputes per node over a measurement window must stay
+// far below both the arrival count and the coalesced PR-3 baseline (which
+// still ran one rebuild per hold-down window, ~2/interval/node).
+func TestRecomputeRegressionBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid convergence too slow for -short")
+	}
+	_, hosts, protos := startGrid(t, 10)
+	// Converge: opposite corners route to each other.
+	last := hosts[len(hosts)-1].ID()
+	waitForRoute(t, protos[0], last, 30*time.Second)
+	waitForRoute(t, protos[len(protos)-1], hosts[0].ID(), 30*time.Second)
+	waitQuiescent(t, protos, 30*time.Second)
+
+	before := make([]Stats, len(protos))
+	for i, p := range protos {
+		before[i] = p.Stats()
+	}
+	const window = 2 * time.Second
+	time.Sleep(window)
+
+	var arrivals, recomputes int64
+	for i, p := range protos {
+		d := p.Stats()
+		arrivals += (d.HelloSent - before[i].HelloSent) +
+			(d.TCSent - before[i].TCSent) + (d.TCFwd - before[i].TCFwd)
+		recomputes += d.Recompute - before[i].Recompute
+	}
+	if arrivals == 0 {
+		t.Fatal("no control traffic during the window")
+	}
+	// The PR-3 coalescing baseline bound (recomputes ≤ arrivals/2) must
+	// still hold with a wide margin…
+	if recomputes*2 > arrivals {
+		t.Fatalf("recompute rate regressed past the coalescing baseline: %d recomputes for %d emissions",
+			recomputes, arrivals)
+	}
+	// …and the incremental scheme must make steady state O(topology
+	// changes), i.e. near-zero on a static grid, not O(messages).
+	if max := int64(3 * len(protos)); recomputes > max {
+		t.Fatalf("steady-state recomputes = %d over %v for %d nodes (want ≤ %d): not O(changes)",
+			recomputes, window, len(protos), max)
+	}
+}
+
+// TestHelloSteadyStateZeroAlloc pins steady-state per-HELLO processing at 0
+// allocations: once the link and 2-hop set are installed, an unchanged HELLO
+// must compare in place and schedule nothing.
+func TestHelloSteadyStateZeroAlloc(t *testing.T) {
+	net := netem.NewNetwork(netem.Config{})
+	defer net.Close()
+	h, err := net.AddHost("self", netem.Position{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(h, SimConfig()) // not started: no timers interfere with the count
+	m := &Hello{Neighbors: []HelloNeighbor{
+		{Addr: "self", Link: LinkSym},
+		{Addr: "n2", Link: LinkSym},
+		{Addr: "n3", Link: LinkSym},
+		{Addr: "n4", Link: LinkAsym},
+	}}
+	p.onHello("n1", m) // installs link + 2-hop set
+	if allocs := testing.AllocsPerRun(200, func() { p.onHello("n1", m) }); allocs != 0 {
+		t.Fatalf("steady-state onHello allocates %.1f times per run, want 0", allocs)
+	}
+	// The unchanged arrivals must not have dirtied the route state.
+	if st := p.Stats(); st.Recompute != 0 {
+		t.Fatalf("unchanged HELLOs executed %d recomputes", st.Recompute)
+	}
+}
+
+// TestInputHashSkipsIdenticalRebuild exercises the second line of defence:
+// recompute() invoked with unchanged inputs (e.g. the trailing hold-down
+// rebuild) must skip the MPR+BFS work and count the skip.
+func TestInputHashSkipsIdenticalRebuild(t *testing.T) {
+	net := netem.NewNetwork(netem.Config{})
+	defer net.Close()
+	h, err := net.AddHost("self", netem.Position{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(h, SimConfig())
+	p.onHello("n1", &Hello{Neighbors: []HelloNeighbor{
+		{Addr: "self", Link: LinkSym},
+		{Addr: "n2", Link: LinkSym},
+	}})
+	p.recompute()
+	st := p.Stats()
+	if st.Recompute != 1 {
+		t.Fatalf("first recompute executed %d rebuilds, want 1", st.Recompute)
+	}
+	routes := p.Routes()
+	if len(routes) == 0 {
+		t.Fatal("no routes after first recompute")
+	}
+	p.recompute() // identical inputs: must be elided
+	st = p.Stats()
+	if st.Recompute != 1 || st.RecomputeSkipped == 0 {
+		t.Fatalf("identical rebuild not skipped: %+v", st)
+	}
+	if !reflect.DeepEqual(routes, p.Routes()) {
+		t.Fatal("skipped rebuild changed the table")
+	}
+	// A real change must defeat the hash and rebuild.
+	p.onHello("n5", &Hello{Neighbors: []HelloNeighbor{{Addr: "self", Link: LinkSym}}})
+	p.recompute()
+	if st = p.Stats(); st.Recompute != 2 {
+		t.Fatalf("changed inputs did not rebuild: %+v", st)
+	}
+}

@@ -7,6 +7,7 @@ package olsr
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -84,7 +85,12 @@ type Stats struct {
 	HelloSent int64
 	TCSent    int64
 	TCFwd     int64
+	// Recompute counts full MPR+route rebuilds actually executed.
 	Recompute int64
+	// RecomputeSkipped counts scheduled rebuilds elided because the
+	// link-state inputs (sym links, 2-hop sets, topology edges) hashed
+	// identical to the last executed rebuild.
+	RecomputeSkipped int64
 }
 
 type linkState struct {
@@ -107,6 +113,11 @@ type dupKey struct {
 	seq  uint16
 }
 
+type dupVal struct {
+	at  time.Time
+	fwd bool // already retransmitted through the MPR backbone
+}
+
 // Protocol is an OLSR instance bound to one host.
 type Protocol struct {
 	host *netem.Host
@@ -119,7 +130,7 @@ type Protocol struct {
 	mprs      map[netem.NodeID]bool                  // our chosen MPRs
 	selectors map[netem.NodeID]time.Time             // neighbours that chose us as MPR
 	topology  map[topoKey]topoVal
-	dups      map[dupKey]time.Time
+	dups      map[dupKey]dupVal
 	seq       uint16
 	ansn      uint16
 	table     *routing.Table
@@ -131,6 +142,11 @@ type Protocol struct {
 	// still need one trailing recompute.
 	recomputeHold   bool
 	recomputeQueued bool
+	// stateHash is the order-independent hash of the link-state inputs at
+	// the last executed rebuild; recompute skips the MPR+BFS work while the
+	// inputs still hash the same (the dirty-set second line of defence —
+	// the first is that unchanged HELLO/TC arrivals never schedule at all).
+	stateHash uint64
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -154,7 +170,7 @@ func New(host *netem.Host, cfg Config) *Protocol {
 		mprs:      make(map[netem.NodeID]bool),
 		selectors: make(map[netem.NodeID]time.Time),
 		topology:  make(map[topoKey]topoVal),
-		dups:      make(map[dupKey]time.Time),
+		dups:      make(map[dupKey]dupVal),
 		table:     routing.NewTable(),
 		stop:      make(chan struct{}),
 	}
@@ -347,33 +363,68 @@ func (p *Protocol) onHello(from netem.NodeID, m *Hello) {
 	now := p.clk.Now()
 	self := p.host.ID()
 	p.mu.Lock()
+	changed := false
 	ls, ok := p.links[from]
 	if !ok {
 		ls = &linkState{}
 		p.links[from] = ls
+		changed = true
 	}
 	ls.lastHeard = now
 	// The link is symmetric once the neighbour lists us in its HELLO.
-	ls.sym = false
+	sym := false
 	for _, nb := range m.Neighbors {
 		if nb.Addr == self {
-			ls.sym = true
+			sym = true
 			if nb.MPR {
 				p.selectors[from] = now.Add(p.cfg.NeighborHold)
 			}
 		}
 	}
+	if sym != ls.sym {
+		ls.sym = sym
+		changed = true
+	}
 	// Record the neighbour's symmetric neighbourhood for MPR selection.
-	set := make(map[netem.NodeID]bool, len(m.Neighbors))
+	// Steady-state HELLOs re-advertise the same set: compare against the
+	// stored 2-hop set first and only rebuild (and mark the state dirty)
+	// on a real change, so an unchanged arrival allocates nothing and
+	// schedules no recompute.
+	old := p.twoHop[from]
+	matched := 0
+	same := true
 	for _, nb := range m.Neighbors {
 		if nb.Addr == self || nb.Link != LinkSym {
 			continue
 		}
-		set[nb.Addr] = true
+		if !old[nb.Addr] {
+			same = false
+			break
+		}
+		matched++
 	}
-	p.twoHop[from] = set
+	if same && matched != len(old) {
+		same = false
+	}
+	if !same {
+		if old == nil {
+			old = make(map[netem.NodeID]bool, len(m.Neighbors))
+			p.twoHop[from] = old
+		} else {
+			clear(old)
+		}
+		for _, nb := range m.Neighbors {
+			if nb.Addr == self || nb.Link != LinkSym {
+				continue
+			}
+			old[nb.Addr] = true
+		}
+		changed = true
+	}
 	p.mu.Unlock()
-	p.scheduleRecompute()
+	if changed {
+		p.scheduleRecompute()
+	}
 }
 
 func (p *Protocol) onTC(from netem.NodeID, m *TC) {
@@ -383,36 +434,65 @@ func (p *Protocol) onTC(from netem.NodeID, m *TC) {
 	}
 	p.mu.Lock()
 	key := dupKey{m.Orig, m.Seq}
-	if _, dup := p.dups[key]; dup {
+	dv, dup := p.dups[key]
+	// RFC 3626 duplicate handling: the tuples are processed once (first
+	// copy), but any copy may trigger the single retransmission — the
+	// first copy often arrives from a neighbour that did not select us as
+	// MPR while a later copy comes from one that did. Without the fwd flag
+	// the TC would then never be relayed here at all, and distant nodes
+	// would miss whole TC rounds.
+	_, isSelector := p.selectors[from]
+	doFwd := isSelector && m.TTL > 1 && !dv.fwd
+	if dup && !doFwd {
 		p.mu.Unlock()
 		return
 	}
-	p.dups[key] = now
+	if !dup {
+		dv.at = now
+	}
+	if doFwd {
+		dv.fwd = true
+	}
+	p.dups[key] = dv
 	if len(p.dups) > 8192 {
-		for k, t := range p.dups {
-			if now.Sub(t) > p.cfg.TopologyHold {
+		for k, v := range p.dups {
+			if now.Sub(v.at) > p.cfg.TopologyHold {
 				delete(p.dups, k)
 			}
 		}
 	}
-	// Purge older-ANSN tuples from this originator, then install.
-	for k, v := range p.topology {
-		if k.last == m.Orig && ansnOlder(v.ansn, m.ANSN) {
-			delete(p.topology, k)
+	// Install/refresh the advertised tuples first, then purge whatever the
+	// new ANSN no longer advertises. Only an edge appearing or vanishing
+	// dirties the route state; a periodic TC re-advertising the same
+	// selector set merely refreshes expiries and schedules nothing.
+	changed := false
+	if !dup {
+		for _, sel := range m.Selectors {
+			k := topoKey{last: m.Orig, dest: sel}
+			if cur, ok := p.topology[k]; !ok || !ansnOlder(m.ANSN, cur.ansn) {
+				// A refresh of a tuple that already time-expired is a
+				// real change: rebuilds between expiry and this refresh
+				// excluded the edge, so reviving it must dirty the route
+				// state even though the key never left the map.
+				if !ok || now.After(cur.expires) {
+					changed = true
+				}
+				p.topology[k] = topoVal{ansn: m.ANSN, expires: now.Add(p.cfg.TopologyHold)}
+			}
+		}
+		for k, v := range p.topology {
+			if k.last == m.Orig && ansnOlder(v.ansn, m.ANSN) {
+				delete(p.topology, k)
+				changed = true
+			}
 		}
 	}
-	for _, sel := range m.Selectors {
-		k := topoKey{last: m.Orig, dest: sel}
-		if cur, ok := p.topology[k]; !ok || !ansnOlder(m.ANSN, cur.ansn) {
-			p.topology[k] = topoVal{ansn: m.ANSN, expires: now.Add(p.cfg.TopologyHold)}
-		}
-	}
-	// Default forwarding: retransmit only if the sender selected us as MPR.
-	_, isSelector := p.selectors[from]
 	p.mu.Unlock()
-	p.scheduleRecompute()
+	if changed {
+		p.scheduleRecompute()
+	}
 
-	if isSelector && m.TTL > 1 {
+	if doFwd {
 		fwd := *m
 		fwd.TTL--
 		p.mu.Lock()
@@ -567,12 +647,86 @@ func (p *Protocol) scheduleRecompute() {
 	}()
 }
 
-// recompute reselects MPRs and rebuilds the route table (greedy MPR cover +
-// BFS shortest paths over 1-hop links and TC-advertised edges).
-func (p *Protocol) recompute() {
+// hashEdge folds one link-state element into the order-independent input
+// hash: a per-element FNV-1a digest, summed so the combined value does not
+// depend on map iteration order.
+func hashEdge(kind byte, a, b netem.NodeID) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	h ^= uint64(kind)
+	h *= prime
+	for i := 0; i < len(a); i++ {
+		h ^= uint64(a[i])
+		h *= prime
+	}
+	h ^= 0xff // separator so ("ab","c") and ("a","bc") differ
+	h *= prime
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= prime
+	}
+	return h
+}
+
+// Element kinds for hashEdge.
+const (
+	hashLink byte = 1 // symmetric 1-hop link
+	hashTwo  byte = 2 // 2-hop edge (neighbour -> its neighbour)
+	hashTopo byte = 3 // TC-advertised topology edge
+)
+
+// inputHashLocked digests everything the MPR selection and BFS read: the
+// symmetric link set, the 2-hop sets and the live topology edges. Expiry
+// timestamps are deliberately excluded — refreshes that keep the same edge
+// set do not change the computed routes.
+func (p *Protocol) inputHashLocked(now time.Time) uint64 {
+	var h uint64
+	for nb, ls := range p.links {
+		if ls.sym {
+			h += hashEdge(hashLink, nb, "")
+		}
+	}
+	for nb, set := range p.twoHop {
+		for two := range set {
+			h += hashEdge(hashTwo, nb, two)
+		}
+	}
+	for k, v := range p.topology {
+		if now.After(v.expires) {
+			continue
+		}
+		h += hashEdge(hashTopo, k.last, k.dest)
+	}
+	return h
+}
+
+// recompute rebuilds MPRs and routes unless the link-state inputs hash
+// identical to the last executed rebuild (the steady-state case: periodic
+// HELLO/TC refreshes that change nothing).
+func (p *Protocol) recompute() { p.recomputeImpl(false) }
+
+// recomputeFull forces the rebuild even on unchanged inputs — the reference
+// path the incremental-vs-full golden equivalence test compares against.
+func (p *Protocol) recomputeFull() { p.recomputeImpl(true) }
+
+// recomputeImpl reselects MPRs and rebuilds the route table (greedy MPR
+// cover + BFS shortest paths over 1-hop links and TC-advertised edges). The
+// traversal is deterministic — neighbour lists are expanded in sorted order —
+// so identical inputs always produce a bit-identical table.
+func (p *Protocol) recomputeImpl(force bool) {
 	self := p.host.ID()
 	now := p.clk.Now()
 	p.mu.Lock()
+	h := p.inputHashLocked(now)
+	if !force && h == p.stateHash {
+		p.stats.RecomputeSkipped++
+		p.mu.Unlock()
+		return
+	}
+	p.stateHash = h
 	p.stats.Recompute++
 	// --- MPR selection: greedy cover of the 2-hop neighbourhood.
 	symNbs := make([]netem.NodeID, 0, len(p.links))
@@ -621,7 +775,11 @@ func (p *Protocol) recompute() {
 	}
 	p.mprs = mprs
 
-	// --- Route computation: BFS over sym links + topology edges.
+	// --- Route computation: BFS over sym links + topology edges. The
+	// start set and every adjacency list are sorted so the traversal —
+	// and therefore next-hop tie-breaks between equal-length paths — is
+	// a pure function of the link-state inputs.
+	sort.Slice(symNbs, func(i, j int) bool { return symNbs[i] < symNbs[j] })
 	type hop struct {
 		next netem.NodeID
 		dist int
@@ -648,6 +806,9 @@ func (p *Protocol) recompute() {
 			adj[nb] = append(adj[nb], two)
 		}
 	}
+	for _, edges := range adj {
+		sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+	}
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
@@ -667,6 +828,9 @@ func (p *Protocol) recompute() {
 	for dst, h := range routes {
 		entries = append(entries, routing.Entry{Dst: dst, NextHop: h.next, Hops: h.dist})
 	}
-	p.mu.Unlock()
+	// Replace under p.mu: with the hash gate, a stale table installed by a
+	// concurrent rebuild racing Replace outside the lock would persist
+	// (the next arrival would hash "unchanged" and skip the fix).
 	p.table.Replace(entries)
+	p.mu.Unlock()
 }

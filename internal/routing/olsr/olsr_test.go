@@ -271,11 +271,14 @@ func TestRecomputeCoalescing(t *testing.T) {
 		arrivals += d.TCFwd - before[i].TCFwd
 	}
 	rec := protos[0].Stats().Recompute - before[0].Recompute
-	if rec == 0 {
-		t.Fatal("no recomputes while control traffic kept arriving")
-	}
 	if rec*2 > arrivals {
 		t.Fatalf("recompute not coalesced: %d recomputes for ~%d control-message arrivals", rec, arrivals)
+	}
+	// With incremental dirty tracking, a converged clique whose HELLOs
+	// re-advertise the same neighbourhood every interval recomputes almost
+	// never (stragglers from late convergence are tolerated).
+	if rec > 8 {
+		t.Fatalf("converged clique still recomputed %d times for ~%d unchanged arrivals", rec, arrivals)
 	}
 }
 

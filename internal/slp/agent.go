@@ -17,16 +17,19 @@
 package slp
 
 import (
+	"container/heap"
 	"errors"
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"siphoc/internal/clock"
 	"siphoc/internal/netem"
 	"siphoc/internal/obs"
 	"siphoc/internal/routing"
+	"siphoc/internal/wire"
 )
 
 // Mode selects the dissemination strategy.
@@ -110,6 +113,43 @@ type relayEntry struct {
 	expires time.Time
 }
 
+// deadlineItem orders map keys by expiry so seenQ/relayQ can be pruned
+// lazily in deadline order instead of full map sweeps.
+type deadlineItem struct {
+	k  qkey
+	at time.Time
+}
+
+type deadlineHeap []deadlineItem
+
+func (h deadlineHeap) Len() int            { return len(h) }
+func (h deadlineHeap) Less(i, j int) bool  { return h[i].at.Before(h[j].at) }
+func (h deadlineHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *deadlineHeap) Push(x any)         { *h = append(*h, x.(deadlineItem)) }
+func (h *deadlineHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// agentCounters are the hot-path stats, kept atomic so counting never takes
+// a shard lock.
+type agentCounters struct {
+	advertsAccepted atomic.Int64
+	queriesAnswered atomic.Int64
+	queriesRelayed  atomic.Int64
+	lookups         atomic.Int64
+	cacheHits       atomic.Int64
+	floodsSent      atomic.Int64
+}
+
+// seenQHardCap bounds the query dedup set regardless of load; beyond it the
+// oldest entries are force-evicted (re-processing an ancient duplicate is
+// harmless — the relay TTL has long expired by then).
+const seenQHardCap = 4096
+
 // Agent is one node's MANET SLP process.
 type Agent struct {
 	host *netem.Host
@@ -119,17 +159,34 @@ type Agent struct {
 	conn  *netem.Conn
 	cache *cache
 
-	mu       sync.Mutex
-	local    map[cacheKey]Service
-	seq      uint32
+	// mu guards the slow-path identity state: local registrations, the
+	// advert sequence number, plugin wiring and lifecycle flags.
+	mu      sync.Mutex
+	local   map[cacheKey]Service
+	seq     uint32
+	plugin  string
+	started bool
+	closed  bool
+
+	// qmu is the query shard: dedup set, pending lookups and the relay
+	// set. Bursty query traffic riding every routing control message
+	// contends here without touching registrations or lifecycle calls.
+	qmu      sync.Mutex
 	qid      uint32
 	pendingQ map[cacheKey]Query
 	relayQ   map[qkey]relayEntry
-	seenQ    map[qkey]time.Time
-	plugin   string
-	stats    AgentStats
-	started  bool
-	closed   bool
+	seenQ    map[qkey]time.Time // value: deadline after which the key may be pruned
+	seenH    deadlineHeap
+	relayH   deadlineHeap
+
+	// pb* is the piggyback encoding scratch reused across Outgoing calls
+	// (serialized by pbMu): staging payload, gossip snapshot and writer.
+	pbMu      sync.Mutex
+	pbPayload Payload
+	pbGossip  []Service
+	pbW       *wire.Writer
+
+	stats agentCounters
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -156,6 +213,7 @@ func NewAgent(host *netem.Host, cfg Config) *Agent {
 		pendingQ: make(map[cacheKey]Query),
 		relayQ:   make(map[qkey]relayEntry),
 		seenQ:    make(map[qkey]time.Time),
+		pbW:      wire.NewWriter(256),
 		stop:     make(chan struct{}),
 	}
 	if cfg.Obs.Enabled() {
@@ -228,9 +286,49 @@ func (a *Agent) Stop() {
 
 // Stats returns a snapshot of the agent counters.
 func (a *Agent) Stats() AgentStats {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.stats
+	return AgentStats{
+		AdvertsAccepted: a.stats.advertsAccepted.Load(),
+		QueriesAnswered: a.stats.queriesAnswered.Load(),
+		QueriesRelayed:  a.stats.queriesRelayed.Load(),
+		Lookups:         a.stats.lookups.Load(),
+		CacheHits:       a.stats.cacheHits.Load(),
+		FloodsSent:      a.stats.floodsSent.Load(),
+	}
+}
+
+// markSeenLocked records a query key in the dedup set. Expired entries are
+// pruned lazily in deadline order (no map sweeps), and the hard cap evicts
+// the oldest entries so sustained query load can never grow seenQ without
+// bound. Caller holds qmu.
+func (a *Agent) markSeenLocked(k qkey, now time.Time) {
+	// Keys stay deduped well past the relay TTL so a straggler copy still
+	// relaying through a distant node is not re-processed here.
+	deadline := now.Add(4 * a.cfg.QueryRelayTTL)
+	for len(a.seenH) > 0 && !now.Before(a.seenH[0].at) {
+		top := heap.Pop(&a.seenH).(deadlineItem)
+		// A key can appear twice in the heap after cap-eviction and
+		// re-admission; only drop it if the live deadline really passed.
+		if at, ok := a.seenQ[top.k]; ok && !now.Before(at) {
+			delete(a.seenQ, top.k)
+		}
+	}
+	for len(a.seenQ) >= seenQHardCap && len(a.seenH) > 0 {
+		top := heap.Pop(&a.seenH).(deadlineItem)
+		delete(a.seenQ, top.k)
+	}
+	a.seenQ[k] = deadline
+	heap.Push(&a.seenH, deadlineItem{k: k, at: deadline})
+}
+
+// pruneRelayLocked drops relay entries whose TTL passed, in deadline order.
+// Caller holds qmu.
+func (a *Agent) pruneRelayLocked(now time.Time) {
+	for len(a.relayH) > 0 && !now.Before(a.relayH[0].at) {
+		top := heap.Pop(&a.relayH).(deadlineItem)
+		if re, ok := a.relayQ[top.k]; ok && !now.Before(re.expires) {
+			delete(a.relayQ, top.k)
+		}
+	}
 }
 
 // Register publishes a service from this node. Type, Key and URL are
@@ -298,15 +396,11 @@ func (a *Agent) LookupCached(stype, key string) (Service, bool) {
 // answer. In piggyback mode the query rides outgoing routing messages; in
 // multicast mode it floods dedicated service frames.
 func (a *Agent) Lookup(stype, key string, timeout time.Duration) (Service, error) {
-	a.mu.Lock()
-	a.stats.Lookups++
-	a.mu.Unlock()
+	a.stats.lookups.Add(1)
 	a.obsLookups.Inc()
 	lookupStart := a.clk.Now()
 	if svc, ok := a.LookupCached(stype, key); ok {
-		a.mu.Lock()
-		a.stats.CacheHits++
-		a.mu.Unlock()
+		a.stats.cacheHits.Add(1)
 		a.obsCacheHits.Inc()
 		a.obsDelay.Observe(a.clk.Now().Sub(lookupStart))
 		return svc, nil
@@ -314,19 +408,19 @@ func (a *Agent) Lookup(stype, key string, timeout time.Duration) (Service, error
 	ch, cancel := a.cache.wait(stype, key)
 	defer cancel()
 
-	a.mu.Lock()
+	a.qmu.Lock()
 	a.qid++
 	q := Query{Type: stype, Key: key, Origin: a.host.ID(), ID: a.qid, Hops: a.cfg.QueryHops}
-	a.seenQ[qkey{q.Origin, q.ID}] = a.clk.Now()
+	a.markSeenLocked(qkey{q.Origin, q.ID}, lookupStart)
 	ck := cacheKey{stype, key}
 	if a.cfg.Mode == ModePiggyback {
 		a.pendingQ[ck] = q
 	}
-	a.mu.Unlock()
+	a.qmu.Unlock()
 	defer func() {
-		a.mu.Lock()
+		a.qmu.Lock()
 		delete(a.pendingQ, ck)
-		a.mu.Unlock()
+		a.qmu.Unlock()
 	}()
 
 	var refloodC <-chan time.Time
@@ -346,11 +440,11 @@ func (a *Agent) Lookup(stype, key string, timeout time.Duration) (Service, error
 			a.obsDelay.Observe(a.clk.Now().Sub(lookupStart))
 			return svc, nil
 		case <-refloodC:
-			a.mu.Lock()
+			a.qmu.Lock()
 			a.qid++
 			q.ID = a.qid
-			a.seenQ[qkey{q.Origin, q.ID}] = a.clk.Now()
-			a.mu.Unlock()
+			a.markSeenLocked(qkey{q.Origin, q.ID}, a.clk.Now())
+			a.qmu.Unlock()
 			a.floodQuery(q)
 			t := a.clk.NewTimer(timeout / 3)
 			defer t.Stop()
@@ -408,45 +502,54 @@ func (a *Agent) Dump() string {
 // ---- routing.PiggybackHandler ----
 
 // Outgoing packs pending queries, local registrations and cached adverts
-// into the routing message's extension slot, within budget.
+// into the routing message's extension slot, within budget. The staging
+// payload, gossip snapshot and encoder are scratch state reused across calls
+// (every HELLO/TC/RREQ the node emits lands here), so the steady-state cost
+// is one allocation: the returned copy of the encoded bytes.
 func (a *Agent) Outgoing(msg routing.Outgoing) []byte {
 	now := a.clk.Now()
-	p := &Payload{}
 	budget := msg.Budget - 8 // headroom for the counts
 	if budget <= 0 {
 		return nil
 	}
-	a.mu.Lock()
+	a.pbMu.Lock()
+	defer a.pbMu.Unlock()
+	p := &a.pbPayload
+	p.Queries = p.Queries[:0]
+	p.Adverts = p.Adverts[:0]
+
+	a.qmu.Lock()
 	for _, q := range a.pendingQ {
 		if s := sizeOfQuery(&q); s <= budget {
 			p.Queries = append(p.Queries, q)
 			budget -= s
 		}
 	}
-	for k, re := range a.relayQ {
-		if now.After(re.expires) {
-			delete(a.relayQ, k)
-			continue
-		}
+	a.pruneRelayLocked(now)
+	for _, re := range a.relayQ {
 		if s := sizeOfQuery(&re.q); s <= budget {
 			p.Queries = append(p.Queries, re.q)
 			budget -= s
 		}
 	}
-	locals := make([]Advert, 0, len(a.local))
+	a.qmu.Unlock()
+
+	a.mu.Lock()
 	for _, svc := range a.local {
-		locals = append(locals, serviceToAdvert(svc, a.cfg.AdvertTTL))
-	}
-	a.mu.Unlock()
-	for i := range locals {
-		if s := sizeOfAdvert(&locals[i]); s <= budget {
-			p.Adverts = append(p.Adverts, locals[i])
+		adv := serviceToAdvert(svc, a.cfg.AdvertTTL)
+		if s := sizeOfAdvert(&adv); s <= budget {
+			p.Adverts = append(p.Adverts, adv)
 			budget -= s
 		}
 	}
+	a.mu.Unlock()
+
 	// Gossip learned entries so information spreads beyond one hop.
-	for _, svc := range a.cache.snapshot("", now) {
-		if svc.Origin == a.host.ID() {
+	self := a.host.ID()
+	a.pbGossip = a.cache.snapshotInto(a.pbGossip[:0], "", now)
+	for i := range a.pbGossip {
+		svc := &a.pbGossip[i]
+		if svc.Origin == self {
 			continue
 		}
 		adv := Advert{
@@ -467,7 +570,14 @@ func (a *Agent) Outgoing(msg routing.Outgoing) []byte {
 	if len(p.Adverts) == 0 && len(p.Queries) == 0 {
 		return nil
 	}
-	return p.Marshal()
+	// Encode into the reused writer, then copy out: concurrent emitters
+	// (helloLoop and tcLoop of the same protocol) both land here, so the
+	// returned slice must not alias the scratch buffer.
+	a.pbW.Reset()
+	raw := p.MarshalInto(a.pbW)
+	out := make([]byte, len(raw))
+	copy(out, raw)
+	return out
 }
 
 // Incoming handles extensions found on received routing messages.
@@ -512,9 +622,7 @@ func (a *Agent) handlePayload(p *Payload) {
 			Expires: now.Add(time.Duration(adv.TTLSec) * time.Second),
 		}
 		if a.cache.upsert(svc) {
-			a.mu.Lock()
-			a.stats.AdvertsAccepted++
-			a.mu.Unlock()
+			a.stats.advertsAccepted.Add(1)
 		}
 	}
 	for _, q := range p.Queries {
@@ -528,27 +636,18 @@ func (a *Agent) handleQuery(q Query) {
 	}
 	now := a.clk.Now()
 	k := qkey{q.Origin, q.ID}
-	a.mu.Lock()
+	a.qmu.Lock()
 	if _, seen := a.seenQ[k]; seen {
-		a.mu.Unlock()
+		a.qmu.Unlock()
 		return
 	}
-	a.seenQ[k] = now
-	if len(a.seenQ) > 8192 {
-		for key, t := range a.seenQ {
-			if now.Sub(t) > 4*a.cfg.QueryRelayTTL {
-				delete(a.seenQ, key)
-			}
-		}
-	}
-	a.mu.Unlock()
+	a.markSeenLocked(k, now)
+	a.qmu.Unlock()
 
 	if svc, ok := a.queryMatch(q, now); ok {
 		// Answer with a unicast reply to the querying node's SLP port.
 		reply := &Payload{Adverts: []Advert{serviceToAdvert(svc, svc.Expires.Sub(now))}}
-		a.mu.Lock()
-		a.stats.QueriesAnswered++
-		a.mu.Unlock()
+		a.stats.queriesAnswered.Add(1)
 		_ = a.conn.WriteTo(reply.Marshal(), q.Origin, Port)
 		return
 	}
@@ -556,10 +655,12 @@ func (a *Agent) handleQuery(q Query) {
 		return
 	}
 	q.Hops--
-	a.mu.Lock()
-	a.stats.QueriesRelayed++
-	a.relayQ[k] = relayEntry{q: q, expires: now.Add(a.cfg.QueryRelayTTL)}
-	a.mu.Unlock()
+	a.stats.queriesRelayed.Add(1)
+	exp := now.Add(a.cfg.QueryRelayTTL)
+	a.qmu.Lock()
+	a.relayQ[k] = relayEntry{q: q, expires: exp}
+	heap.Push(&a.relayH, deadlineItem{k: k, at: exp})
+	a.qmu.Unlock()
 }
 
 // queryMatch resolves a query against the cache; an empty key matches any
@@ -575,9 +676,7 @@ func (a *Agent) queryMatch(q Query, now time.Time) (Service, bool) {
 
 // floodQuery broadcasts a SrvRqst as a dedicated service frame.
 func (a *Agent) floodQuery(q Query) {
-	a.mu.Lock()
-	a.stats.FloodsSent++
-	a.mu.Unlock()
+	a.stats.floodsSent.Add(1)
 	p := &Payload{Queries: []Query{q}}
 	_ = a.host.SendFrame(netem.Broadcast, netem.KindService, p.Marshal())
 }
@@ -605,18 +704,16 @@ func (a *Agent) onServiceFrame(f netem.Frame) {
 			continue
 		}
 		k := qkey{q.Origin, q.ID}
-		a.mu.Lock()
+		a.qmu.Lock()
 		if _, seen := a.seenQ[k]; seen {
-			a.mu.Unlock()
+			a.qmu.Unlock()
 			continue
 		}
-		a.seenQ[k] = now
-		a.mu.Unlock()
+		a.markSeenLocked(k, now)
+		a.qmu.Unlock()
 		if svc, ok := a.queryMatch(q, now); ok {
 			reply := &Payload{Adverts: []Advert{serviceToAdvert(svc, svc.Expires.Sub(now))}}
-			a.mu.Lock()
-			a.stats.QueriesAnswered++
-			a.mu.Unlock()
+			a.stats.queriesAnswered.Add(1)
 			_ = a.conn.WriteTo(reply.Marshal(), q.Origin, Port)
 			continue
 		}

@@ -134,9 +134,17 @@ func (c *cache) removeOrigin(origin netem.NodeID) int {
 // snapshot returns live entries, optionally filtered by type, sorted by
 // (type, key).
 func (c *cache) snapshot(stype string, now time.Time) []Service {
+	return c.snapshotInto(nil, stype, now)
+}
+
+// snapshotInto appends live entries to out (normally out[:0] of a reused
+// scratch slice) so steady-state callers avoid reallocating per call.
+func (c *cache) snapshotInto(out []Service, stype string, now time.Time) []Service {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]Service, 0, len(c.entries))
+	if out == nil {
+		out = make([]Service, 0, len(c.entries))
+	}
 	for k, svc := range c.entries {
 		if now.After(svc.Expires) {
 			delete(c.entries, k)

@@ -78,7 +78,13 @@ type Payload struct {
 
 // Marshal encodes the payload.
 func (p *Payload) Marshal() []byte {
-	w := wire.NewWriter(64)
+	return p.MarshalInto(wire.NewWriter(64))
+}
+
+// MarshalInto encodes the payload into w and returns the encoded bytes,
+// which alias w's buffer — callers reusing a scratch writer must copy the
+// result out before the next Reset.
+func (p *Payload) MarshalInto(w *wire.Writer) []byte {
 	w.U16(uint16(len(p.Adverts)))
 	for i := range p.Adverts {
 		marshalAdvert(w, &p.Adverts[i])

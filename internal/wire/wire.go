@@ -24,6 +24,10 @@ func NewWriter(capHint int) *Writer {
 // Bytes returns the encoded message.
 func (w *Writer) Bytes() []byte { return w.buf }
 
+// Reset truncates the writer for reuse, keeping the allocated capacity.
+// Bytes slices obtained before Reset are invalidated by subsequent writes.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
 // Len returns the current encoded length.
 func (w *Writer) Len() int { return len(w.buf) }
 

@@ -98,8 +98,15 @@ func (s *Scenario) newNode(id NodeID, pos Position, opts ...NodeOption) (*Node, 
 		n.routing = aodv.New(host, cfg)
 	case RoutingOLSR:
 		cfg := olsr.SimConfig()
-		cfg.Clock = s.clk
-		cfg.Obs = s.obs
+		if s.cfg.OLSR != nil {
+			cfg = *s.cfg.OLSR
+		}
+		if cfg.Clock == nil {
+			cfg.Clock = s.clk
+		}
+		if cfg.Obs == nil {
+			cfg.Obs = s.obs
+		}
 		cfg = scaleOLSR(cfg, s.cfg.TimeScale)
 		n.routing = olsr.New(host, cfg)
 	default:

@@ -1,0 +1,181 @@
+// Control-plane scale study: the paper defers "how does the system behave as
+// the number of nodes grows" (§6); BenchmarkControlScale answers it on square
+// OLSR grids from 25 to 400 nodes, measuring bring-up time, corner-to-corner
+// convergence time, steady-state recomputes per node, and steady-state
+// allocation rate. Run via `make bench` (-benchtime 1x), committed as
+// BENCH_scale.json.
+package siphoc_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"siphoc"
+	"siphoc/internal/netem"
+	"siphoc/internal/routing/olsr"
+)
+
+// controlScaleOLSR returns OLSR timing scaled to the node count. The TC flood
+// volume grows O(N²) with the node count at fixed intervals, so a fixed
+// 40 ms HELLO beat saturates the machine long before 400 nodes — timers then
+// slip past the hold times and links flap, which is genuine protocol
+// behaviour under CPU starvation, not measurement noise. Real deployments
+// tune intervals to network size (RFC 3626 defaults to 2 s HELLO / 5 s TC);
+// this scales linearly between the simulation beat and the RFC one.
+func controlScaleOLSR(nodes int) olsr.Config {
+	hello := time.Duration(nodes) * 2500 * time.Microsecond
+	if hello < 40*time.Millisecond {
+		hello = 40 * time.Millisecond
+	}
+	return olsr.Config{
+		HelloInterval: hello,
+		TCInterval:    hello * 5 / 2,
+		// A 20×20 grid has a 38-hop diameter; the default MaxTTL 32
+		// would truncate corner-to-corner TC flooding.
+		MaxTTL:    64,
+		RouteWait: 2 * time.Minute,
+	}
+}
+
+func controlScaleScenario(side int) (*siphoc.Scenario, error) {
+	cfg := controlScaleOLSR(side * side)
+	return siphoc.NewScenario(siphoc.ScenarioConfig{
+		Routing:         siphoc.RoutingOLSR,
+		OLSR:            &cfg,
+		NoObservability: true,
+	})
+}
+
+// waitNextHop polls until the protocol has a route to dst.
+func waitNextHop(p *olsr.Protocol, dst netem.NodeID, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if _, ok := p.NextHop(dst); ok {
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("no route to %s within %v", dst, timeout)
+}
+
+// sumRecomputes totals executed route rebuilds across the grid.
+func sumRecomputes(nodes []*siphoc.Node) int64 {
+	var n int64
+	for _, nd := range nodes {
+		n += nd.Routing().(*olsr.Protocol).Stats().Recompute
+	}
+	return n
+}
+
+func BenchmarkControlScale(b *testing.B) {
+	sides := []int{5, 10, 15, 20}
+	if testing.Short() {
+		sides = []int{5, 10}
+	}
+	for _, side := range sides {
+		b.Run(fmt.Sprintf("grid_%dx%d", side, side), func(b *testing.B) {
+			for b.Loop() {
+				runControlScalePoint(b, side)
+			}
+		})
+	}
+}
+
+func runControlScalePoint(b *testing.B, side int) {
+	sc, err := controlScaleScenario(side)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sc.Close()
+
+	t0 := time.Now()
+	nodes, err := sc.Grid(side, side, 80, siphoc.WithoutConnectionProvider())
+	if err != nil {
+		b.Fatal(err)
+	}
+	bringup := time.Since(t0)
+
+	// Convergence: both far corners can route to each other, i.e. topology
+	// information crossed the full grid diameter in both directions.
+	first := nodes[0].Routing().(*olsr.Protocol)
+	last := nodes[len(nodes)-1].Routing().(*olsr.Protocol)
+	t1 := time.Now()
+	if err := waitNextHop(first, nodes[len(nodes)-1].ID(), 2*time.Minute); err != nil {
+		b.Fatal(err)
+	}
+	if err := waitNextHop(last, nodes[0].ID(), 2*time.Minute); err != nil {
+		b.Fatal(err)
+	}
+	convergence := time.Since(t1)
+
+	// Steady state: let trailing rebuilds drain for a couple of TC rounds,
+	// then measure a window. On a static converged grid every HELLO/TC is a
+	// pure refresh, so executed recomputes track topology changes (≈0), not
+	// message arrivals.
+	tc := controlScaleOLSR(side * side).TCInterval
+	time.Sleep(2 * tc)
+	window := 2 * tc
+	recBefore := sumRecomputes(nodes)
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	time.Sleep(window)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+	rec := sumRecomputes(nodes) - recBefore
+	allocs := float64(msAfter.Mallocs - msBefore.Mallocs)
+
+	n := float64(side * side)
+	b.ReportMetric(float64(bringup.Milliseconds()), "bringup_ms")
+	b.ReportMetric(float64(convergence.Milliseconds()), "convergence_ms")
+	b.ReportMetric(float64(rec)/n, "recomputes/node")
+	b.ReportMetric(allocs/n/window.Seconds(), "allocs/node/s")
+}
+
+// TestControlScaleSmoke is the `make check` scale gate: a 10×10 OLSR grid
+// must bring up in parallel, converge corner to corner, and hold the
+// incremental-recompute bound — steady-state rebuilds stay O(topology
+// changes), not O(control messages). Timing leaves headroom for -race.
+func TestControlScaleSmoke(t *testing.T) {
+	const side = 10
+	cfg := olsr.Config{
+		HelloInterval: 500 * time.Millisecond,
+		TCInterval:    1250 * time.Millisecond,
+		MaxTTL:        64,
+		RouteWait:     time.Minute,
+	}
+	sc, err := siphoc.NewScenario(siphoc.ScenarioConfig{
+		Routing:         siphoc.RoutingOLSR,
+		OLSR:            &cfg,
+		NoObservability: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	nodes, err := sc.Grid(side, side, 80, siphoc.WithoutConnectionProvider())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := nodes[0].Routing().(*olsr.Protocol)
+	last := nodes[len(nodes)-1].Routing().(*olsr.Protocol)
+	if err := waitNextHop(first, nodes[len(nodes)-1].ID(), time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := waitNextHop(last, nodes[0].ID(), time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain trailing rebuilds, then require near-zero recomputes over a
+	// measurement window on the static converged grid.
+	time.Sleep(2 * cfg.TCInterval)
+	before := sumRecomputes(nodes)
+	window := 2 * cfg.TCInterval
+	time.Sleep(window)
+	rec := sumRecomputes(nodes) - before
+	if max := int64(3 * len(nodes)); rec > max {
+		t.Fatalf("steady-state recomputes = %d over %v for %d nodes (want ≤ %d): O(messages), not O(changes)",
+			rec, window, len(nodes), max)
+	}
+}

@@ -2,7 +2,9 @@ package siphoc
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"siphoc/internal/clock"
@@ -10,6 +12,7 @@ import (
 	"siphoc/internal/internet"
 	"siphoc/internal/netem"
 	"siphoc/internal/obs"
+	"siphoc/internal/routing/olsr"
 	"siphoc/internal/rtp"
 	"siphoc/internal/slp"
 )
@@ -48,6 +51,12 @@ type ScenarioConfig struct {
 	// SLP overrides the full SLP agent configuration; when set, SLPMode
 	// is ignored.
 	SLP *slp.Config
+	// OLSR overrides the OLSR protocol configuration for OLSR nodes
+	// (Clock and Obs are filled from the scenario when unset, and
+	// TimeScale still applies on top). Nil keeps olsr.SimConfig — whose
+	// timings suit small networks; large grids need intervals scaled
+	// with node count to keep the control-plane load inside the machine.
+	OLSR *olsr.Config
 	// Internet, when true, creates a simulated Internet that gateway
 	// nodes can bridge to.
 	Internet bool
@@ -188,31 +197,92 @@ func (s *Scenario) Nodes() []*Node {
 
 // Chain creates count nodes in a line with the given spacing, producing a
 // multihop path (the paper's firewalled-testbed topology). Node IDs are
-// "10.0.0.1" … "10.0.0.<count>".
+// "10.0.0.1" … "10.0.0.<count>". Nodes are brought up in parallel.
 func (s *Scenario) Chain(count int, spacing float64, opts ...NodeOption) ([]*Node, error) {
-	nodes := make([]*Node, 0, count)
+	specs := make([]nodeSpec, count)
 	for i := range count {
-		n, err := s.AddNode(netem.NodeName("10.0.0", i+1), Position{X: float64(i) * spacing}, opts...)
-		if err != nil {
-			return nil, err
-		}
-		nodes = append(nodes, n)
+		specs[i] = nodeSpec{id: netem.NodeName("10.0.0", i+1), pos: Position{X: float64(i) * spacing}}
 	}
-	return nodes, nil
+	return s.addNodes(specs, opts...)
 }
 
 // Grid creates rows×cols nodes on a regular grid (the campus scenario).
+// Nodes are brought up in parallel.
 func (s *Scenario) Grid(rows, cols int, spacing float64, opts ...NodeOption) ([]*Node, error) {
-	nodes := make([]*Node, 0, rows*cols)
+	specs := make([]nodeSpec, 0, rows*cols)
 	for r := range rows {
 		for c := range cols {
-			id := netem.NodeName("10.0.0", r*cols+c+1)
-			n, err := s.AddNode(id, Position{X: float64(c) * spacing, Y: float64(r) * spacing}, opts...)
-			if err != nil {
-				return nil, err
-			}
-			nodes = append(nodes, n)
+			specs = append(specs, nodeSpec{
+				id:  netem.NodeName("10.0.0", r*cols+c+1),
+				pos: Position{X: float64(c) * spacing, Y: float64(r) * spacing},
+			})
 		}
+	}
+	return s.addNodes(specs, opts...)
+}
+
+type nodeSpec struct {
+	id  NodeID
+	pos Position
+}
+
+// closeParallelism bounds concurrent node bring-up/teardown.
+func closeParallelism() int {
+	limit := runtime.GOMAXPROCS(0) * 2
+	if limit < 4 {
+		limit = 4
+	}
+	return limit
+}
+
+// addNodes brings up a batch of nodes with bounded parallelism: each node's
+// construction starts seven goroutines and a handful of port bindings, and
+// doing that for hundreds of nodes sequentially dominates large-scenario
+// setup. A semaphore caps the in-flight constructions; the first error wins,
+// later ones are dropped, and every node already up is torn down so the
+// caller never sees a half-built topology. Results keep spec order.
+func (s *Scenario) addNodes(specs []nodeSpec, opts ...NodeOption) ([]*Node, error) {
+	nodes := make([]*Node, len(specs))
+	limit := closeParallelism()
+	if limit > len(specs) {
+		limit = len(specs)
+	}
+	var (
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, limit)
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+	)
+	for i, sp := range specs {
+		if failed.Load() {
+			break
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int, sp nodeSpec) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if failed.Load() {
+				return
+			}
+			n, err := s.AddNode(sp.id, sp.pos, opts...)
+			if err != nil {
+				failed.Store(true)
+				errOnce.Do(func() { firstErr = fmt.Errorf("siphoc: bring up node %s: %w", sp.id, err) })
+				return
+			}
+			nodes[i] = n
+		}(i, sp)
+	}
+	wg.Wait()
+	if failed.Load() {
+		for _, n := range nodes {
+			if n != nil {
+				s.RemoveNode(n.ID())
+			}
+		}
+		return nil, firstErr
 	}
 	return nodes, nil
 }
@@ -329,9 +399,22 @@ func (s *Scenario) Close() {
 	for _, ph := range inetPhones {
 		ph.Stop()
 	}
+	// Close nodes in parallel: a sequential sweep leaves survivors running
+	// long enough to notice the shrinking neighbourhood (NeighborHold) and
+	// churn through route rebuilds on a collapsing topology — on a 400-node
+	// grid that turns teardown from seconds into minutes.
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, closeParallelism())
 	for _, n := range nodes {
-		n.Close()
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(n *Node) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			n.Close()
+		}(n)
 	}
+	wg.Wait()
 	for _, p := range providers {
 		p.Close()
 	}
