@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover check bench bench-all faults fuzz experiments examples clean
+.PHONY: all build test race cover check bench bench-all fed faults fuzz experiments examples clean
 
 all: build test
 
@@ -28,6 +28,7 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race -run 'TestCallTrace|TestMetrics|TestDialContext' .
 	$(GO) test -race -short -run 'TestControlScaleSmoke' .
+	$(GO) test -race -run 'TestFederationSmoke' -count 1 .
 	$(GO) test -race -run 'Fault|Partition|LinkQuality|Gateway|Proxy' ./internal/netem/ ./internal/core/ ./internal/slp/
 	$(GO) test -race ./internal/rtp/
 	$(GO) test -race ./...
@@ -40,6 +41,19 @@ bench:
 	$(GO) test -run '^$$' -bench 'ObsOverhead' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_obs.json
 	$(GO) test -run '^$$' -bench 'VoiceFrame|PacketParse|MediaScale' -benchmem ./internal/rtp/ | $(GO) run ./cmd/benchjson > BENCH_rtp.json
 	$(GO) test -run '^$$' -bench 'ControlScale' -benchtime 1x -timeout 20m . | $(GO) run ./cmd/benchjson > BENCH_scale.json
+	$(MAKE) fed
+
+# Federation scale snapshot: a 3-island × 2-gateway federation under a
+# 1000-concurrent-call workload, trunked and untrunked, committed as
+# BENCH_fed.json (see EXPERIMENTS.md "Federation — before/after").
+# Sequenced, not piped: in a pipeline `go run ./cmd/benchjson` compiles
+# while the benchmark's first variant attaches and ramps, and that CPU
+# burst alone is enough to distort a saturation workload.
+fed:
+	$(GO) build -o /dev/null ./cmd/benchjson
+	$(GO) test -run '^$$' -bench 'Federation' -benchtime 1x -timeout 30m . > BENCH_fed.txt
+	$(GO) run ./cmd/benchjson < BENCH_fed.txt > BENCH_fed.json
+	rm -f BENCH_fed.txt
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...

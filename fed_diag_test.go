@@ -1,0 +1,60 @@
+package siphoc_test
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"siphoc"
+)
+
+// TestFedDiag is a manual diagnostic: SIPHOC_FED_DIAG=1000 go test -run
+// TestFedDiag -v . It runs one trunked federation point and dumps the
+// call-generator report including the failure-reason breakdown.
+func TestFedDiag(t *testing.T) {
+	n := 0
+	if v := os.Getenv("SIPHOC_FED_DIAG"); v != "" {
+		for _, c := range v {
+			n = n*10 + int(c-'0')
+		}
+	}
+	if n == 0 {
+		t.Skip("set SIPHOC_FED_DIAG=<calls> to run")
+	}
+	fed, err := siphoc.NewFederationScenario(siphoc.FederationConfig{
+		Islands:           3,
+		GatewaysPerIsland: 2,
+		ClientsPerIsland:  6,
+		Shards:            4,
+		Trunk:             true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fed.Close()
+	if err := fed.WaitAttached(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	gen := fed.NewCallGenerator(siphoc.CallGenConfig{
+		Concurrent:       n,
+		EstablishTimeout: 2 * time.Minute,
+	})
+	start := time.Now()
+	rep, err := gen.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wall %v report %+v", time.Since(start), rep)
+	var reg, det, fo int64
+	for _, sc := range fed.Islands() {
+		mm := sc.Metrics()
+		for _, cs := range mm.ConnProviders {
+			det += cs.Detaches
+			fo += cs.Failovers
+		}
+		for _, ps := range mm.Proxies {
+			reg += ps.Registers
+		}
+	}
+	t.Logf("detaches=%d failovers=%d proxyRegisters=%d", det, fo, reg)
+}

@@ -1,0 +1,273 @@
+package siphoc
+
+import (
+	"fmt"
+	"time"
+
+	"siphoc/internal/clock"
+	"siphoc/internal/internet"
+	"siphoc/internal/obs"
+	"siphoc/internal/rtp"
+	"siphoc/internal/sip"
+)
+
+// FederationConfig sizes a multi-MANET federation: K islands, each its own
+// radio medium with M gateway nodes, joined only through one simulated
+// Internet that also carries the sharded provider tier.
+type FederationConfig struct {
+	// Islands is the number of MANET islands K (default 3).
+	Islands int
+	// GatewaysPerIsland is M, the Internet-bridging nodes per island
+	// (default 2; they share the inter-gateway trunk load).
+	GatewaysPerIsland int
+	// ClientsPerIsland is the number of non-gateway nodes per island
+	// (default 3); phones are hosted on these.
+	ClientsPerIsland int
+	// Shards is the provider pool's registrar shard count (default 2).
+	Shards int
+	// Domain is the federation's SIP domain (default "fed.example").
+	// Every phone in every island registers user@Domain.
+	Domain string
+	// Spacing is the intra-island distance between neighbouring nodes in
+	// metres (default 80, one radio hop at the default 100 m range).
+	Spacing float64
+	// InternetDelay is the Internet per-hop latency (0 keeps the 5 ms
+	// default).
+	InternetDelay time.Duration
+	// Trunk enables gateway-side trunk multiplexing: concurrent RTP
+	// streams crossing the same gateway pair collapse into one paced
+	// inter-gateway flow.
+	Trunk bool
+	// Routing selects each island's MANET routing protocol (default OLSR —
+	// proactive routing keeps SLP caches warm across the island).
+	Routing RoutingKind
+	// TimeScale stretches protocol timers (default 1).
+	TimeScale float64
+	// Clock is the shared time source for every island, the Internet and
+	// the media pacer (default the system clock).
+	Clock clock.Clock
+	// NoObservability disables the federation-wide observer.
+	NoObservability bool
+}
+
+func (c FederationConfig) withDefaults() FederationConfig {
+	if c.Islands == 0 {
+		c.Islands = 3
+	}
+	if c.GatewaysPerIsland == 0 {
+		c.GatewaysPerIsland = 2
+	}
+	if c.ClientsPerIsland == 0 {
+		c.ClientsPerIsland = 3
+	}
+	if c.Shards == 0 {
+		c.Shards = 2
+	}
+	if c.Domain == "" {
+		c.Domain = "fed.example"
+	}
+	if c.Spacing == 0 {
+		c.Spacing = 80
+	}
+	if c.Routing == 0 {
+		c.Routing = RoutingOLSR
+	}
+	if c.TimeScale == 0 {
+		c.TimeScale = 1
+	}
+	if c.Clock == nil {
+		c.Clock = clock.New()
+	}
+	return c
+}
+
+// FederationScenario wires K MANET islands × M gateways each × a sharded
+// provider pool into one deployment. Every island is an ordinary Scenario
+// built with WithFederation, so the whole per-island API (nodes, phones,
+// faults, metrics) keeps working; the federation owns the shared pieces —
+// clock, observer, simulated Internet, media pacer and the provider pool.
+//
+// Island i owns the address prefix "10.<i+1>.0": its nodes are
+// "10.<i+1>.0.1" … with the gateways first. Calls between islands resolve
+// through the pool (the SLP hop is cache-only on islands, so inter-island
+// AORs fail over to DNS immediately) and their media crosses gateway
+// tunnels — trunked into shared inter-gateway flows when Trunk is set.
+type FederationScenario struct {
+	cfg      FederationConfig
+	clk      clock.Clock
+	observer *obs.Observer
+	inet     *internet.Internet
+	pacer    *rtp.Pacer
+	pool     *internet.ProviderPool
+	islands  []*Scenario
+}
+
+// NewFederationScenario brings up the shared infrastructure, the provider
+// pool and every island with its nodes. The returned federation is ready
+// for WaitAttached/phone provisioning.
+func NewFederationScenario(cfg FederationConfig) (*FederationScenario, error) {
+	cfg = cfg.withDefaults()
+	f := &FederationScenario{cfg: cfg, clk: cfg.Clock}
+	if !cfg.NoObservability {
+		f.observer = obs.New(cfg.Clock)
+	}
+	f.inet = internet.New(internet.Config{Delay: cfg.InternetDelay, Clock: cfg.Clock})
+	f.pacer = rtp.NewPacer(cfg.Clock)
+
+	sipCfg := sip.SimConfig()
+	sipCfg.Clock = cfg.Clock
+	pool, err := internet.NewProviderPool(f.inet, internet.PoolConfig{
+		Domain: cfg.Domain,
+		Shards: cfg.Shards,
+		SIP:    sipCfg,
+		Clock:  cfg.Clock,
+		// Federation workloads run for minutes; the 60 s default would
+		// expire bindings mid-ramp (island proxies and phones use the same
+		// hour-long TTL — see newNode / NewPhoneWith).
+		BindingTTL: time.Hour,
+	})
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("siphoc: federation provider pool: %w", err)
+	}
+	f.pool = pool
+
+	for i := range cfg.Islands {
+		sc, err := f.addIsland(i)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.islands = append(f.islands, sc)
+	}
+	return f, nil
+}
+
+// IslandPrefix returns the address prefix owned by island i ("10.1.0" for
+// island 0).
+func (f *FederationScenario) IslandPrefix(i int) string {
+	return fmt.Sprintf("10.%d.0", i+1)
+}
+
+func (f *FederationScenario) addIsland(i int) (*Scenario, error) {
+	prefix := f.IslandPrefix(i)
+	sc, err := NewScenarioWith(
+		WithFederation(f, prefix),
+		WithRoutingKind(f.cfg.Routing),
+	)
+	if err != nil {
+		return nil, err
+	}
+	// One line of nodes per island, gateways first: a gateway is always
+	// within a couple of hops, and the line exercises multihop media.
+	total := f.cfg.GatewaysPerIsland + f.cfg.ClientsPerIsland
+	specs := make([]nodeSpec, 0, total)
+	for j := range total {
+		specs = append(specs, nodeSpec{
+			id:  NodeID(fmt.Sprintf("%s.%d", prefix, j+1)),
+			pos: Position{X: float64(j) * f.cfg.Spacing, Y: float64(i) * 10_000},
+		})
+	}
+	gws, clients := specs[:f.cfg.GatewaysPerIsland], specs[f.cfg.GatewaysPerIsland:]
+	if _, err := sc.addNodes(gws, WithGateway()); err != nil {
+		sc.Close()
+		return nil, fmt.Errorf("siphoc: island %d gateways: %w", i, err)
+	}
+	if _, err := sc.addNodes(clients); err != nil {
+		sc.Close()
+		return nil, fmt.Errorf("siphoc: island %d clients: %w", i, err)
+	}
+	return sc, nil
+}
+
+// Islands returns every island scenario in index order.
+func (f *FederationScenario) Islands() []*Scenario { return f.islands }
+
+// Island returns island i.
+func (f *FederationScenario) Island(i int) *Scenario { return f.islands[i] }
+
+// Pool returns the sharded provider tier.
+func (f *FederationScenario) Pool() *internet.ProviderPool { return f.pool }
+
+// Internet returns the shared simulated Internet.
+func (f *FederationScenario) Internet() *internet.Internet { return f.inet }
+
+// Clock returns the federation-wide time source.
+func (f *FederationScenario) Clock() clock.Clock { return f.clk }
+
+// Observer returns the federation-wide observability handle (nil with
+// NoObservability; a nil Observer is valid and no-ops).
+func (f *FederationScenario) Observer() *Observer { return f.observer }
+
+// MediaPacer returns the federation-wide RTP scheduler: one goroutine paces
+// every phone's media and every gateway trunk across all islands.
+func (f *FederationScenario) MediaPacer() *rtp.Pacer { return f.pacer }
+
+// Clients returns every non-gateway node across all islands, island by
+// island — the hosts a call workload provisions phones on.
+func (f *FederationScenario) Clients() []*Node {
+	var out []*Node
+	for i, sc := range f.islands {
+		prefix := f.IslandPrefix(i)
+		for j := range f.cfg.ClientsPerIsland {
+			id := NodeID(fmt.Sprintf("%s.%d", prefix, f.cfg.GatewaysPerIsland+j+1))
+			if n := sc.Node(id); n != nil {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// WaitAttached blocks until every client node in every island reports
+// Internet connectivity through its island gateways.
+func (f *FederationScenario) WaitAttached(timeout time.Duration) error {
+	deadline := f.clk.Now().Add(timeout)
+	for _, n := range f.Clients() {
+		remain := deadline.Sub(f.clk.Now())
+		if remain <= 0 {
+			remain = time.Millisecond
+		}
+		sc := n.scenario
+		if err := sc.WaitAttached(n, remain); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TrunkStats sums trunk counters across every gateway in the federation.
+func (f *FederationScenario) TrunkStats() TrunkStats {
+	var total TrunkStats
+	for _, sc := range f.islands {
+		for _, n := range sc.Nodes() {
+			if g := n.Gateway(); g != nil {
+				ts := g.TrunkStats()
+				total.FramesSent += ts.FramesSent
+				total.FramesRecv += ts.FramesRecv
+				total.PayloadsBatched += ts.PayloadsBatched
+				total.PayloadsDelivered += ts.PayloadsDelivered
+				total.InlineFlushes += ts.InlineFlushes
+				total.PacedFlushes += ts.PacedFlushes
+			}
+		}
+	}
+	return total
+}
+
+// Close tears the whole federation down: islands first (they skip the
+// shared pieces), then the pool, the Internet and the pacer.
+func (f *FederationScenario) Close() {
+	for _, sc := range f.islands {
+		sc.Close()
+	}
+	if f.pool != nil {
+		f.pool.Close()
+	}
+	if f.inet != nil {
+		f.inet.Close()
+	}
+	if f.pacer != nil {
+		f.pacer.Close()
+	}
+}

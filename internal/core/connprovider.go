@@ -41,6 +41,13 @@ type ConnProviderConfig struct {
 	// dead tunnel, so failover skips it while its stale SLP advert lingers
 	// (default 5s; <=0 disables blacklisting).
 	BlacklistTTL time.Duration
+	// MissedProbeLimit is how many consecutive ping timeouts it takes to
+	// declare an attached gateway dead (default 1 — a single missed ping
+	// detaches, the fastest detection). Saturated deployments raise it:
+	// under heavy load a ping round trip routinely exceeds AckTimeout
+	// without the gateway being gone, and one spurious detach costs a
+	// blacklist + failover + upstream re-registration storm.
+	MissedProbeLimit int
 	// IsLocal classifies node IDs as MANET-internal; traffic to other
 	// destinations is tunnelled. Default: IDs with no letters (dotted
 	// numeric MANET addresses) are local, names like "voicehoc.ch" are
@@ -67,6 +74,9 @@ func (c ConnProviderConfig) withDefaults() ConnProviderConfig {
 	}
 	if c.BlacklistTTL == 0 {
 		c.BlacklistTTL = 5 * time.Second
+	}
+	if c.MissedProbeLimit == 0 {
+		c.MissedProbeLimit = 1
 	}
 	if c.IsLocal == nil {
 		c.IsLocal = func(id netem.NodeID) bool {
@@ -111,7 +121,7 @@ type connCounters struct {
 // traffic through it (paper §2, Connection Provider).
 type ConnectionProvider struct {
 	host  *netem.Host
-	agent *slp.Agent
+	agent ServiceDirectory
 	cfg   ConnProviderConfig
 	clk   clock.Clock
 
@@ -135,7 +145,11 @@ type ConnectionProvider struct {
 	// MaxLookupRetries cap, lastErr becomes ErrNoGateway. Both reset on a
 	// successful attach.
 	lookupFails int
-	lastErr     error
+	// missedProbes counts consecutive ping timeouts on the live tunnel;
+	// at MissedProbeLimit the gateway is declared lost. Reset by any pong
+	// and on attach.
+	missedProbes int
+	lastErr      error
 	// detachedAt stamps the moment a live gateway was lost; the next
 	// successful attach turns it into a failover-latency sample.
 	detachedAt      time.Time
@@ -151,7 +165,7 @@ type ConnectionProvider struct {
 
 // NewConnectionProvider creates the provider; agent is the node's MANET SLP
 // agent used for gateway discovery.
-func NewConnectionProvider(host *netem.Host, agent *slp.Agent, cfg ConnProviderConfig) *ConnectionProvider {
+func NewConnectionProvider(host *netem.Host, agent ServiceDirectory, cfg ConnProviderConfig) *ConnectionProvider {
 	cfg = cfg.withDefaults()
 	return &ConnectionProvider{
 		host:        host,
@@ -496,8 +510,17 @@ func (p *ConnectionProvider) pingGateway() {
 	defer timer.Stop()
 	select {
 	case <-pong:
+		p.mu.Lock()
+		p.missedProbes = 0
+		p.mu.Unlock()
 	case <-timer.C():
-		p.gatewayLost(gw)
+		p.mu.Lock()
+		p.missedProbes++
+		missed := p.missedProbes
+		p.mu.Unlock()
+		if missed >= p.cfg.MissedProbeLimit {
+			p.gatewayLost(gw)
+		}
 	case <-p.stop:
 	}
 }

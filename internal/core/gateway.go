@@ -23,6 +23,11 @@ type GatewayConfig struct {
 	Clock clock.Clock
 	// Obs records tunnel gauges and counters. Nil disables.
 	Obs *obs.Observer
+	// Trunk, when set, enables inter-gateway media trunking: tunnelled
+	// datagrams destined to another trunk-enabled gateway's client are
+	// batched into paced trunk frames instead of crossing the Internet one
+	// datagram per RTP packet.
+	Trunk *TrunkConfig
 }
 
 func (c GatewayConfig) withDefaults() GatewayConfig {
@@ -79,12 +84,13 @@ type tunnelClient struct {
 type GatewayProvider struct {
 	host  *netem.Host
 	inet  *internet.Internet
-	agent *slp.Agent
+	agent ServiceDirectory
 	cfg   GatewayConfig
 	clk   clock.Clock
 
 	conn     *netem.Conn
-	selfHost *netem.Host // the gateway's own Internet presence
+	selfHost *netem.Host   // the gateway's own Internet presence
+	trunk    *gatewayTrunk // nil unless cfg.Trunk is set
 
 	mu      sync.Mutex
 	clients map[netem.NodeID]*tunnelClient
@@ -102,7 +108,7 @@ type GatewayProvider struct {
 // NewGatewayProvider creates the provider for a node that has Internet
 // connectivity (modelled by access to inet). agent is the node's MANET SLP
 // agent, used to publish the gateway service.
-func NewGatewayProvider(host *netem.Host, inet *internet.Internet, agent *slp.Agent, cfg GatewayConfig) *GatewayProvider {
+func NewGatewayProvider(host *netem.Host, inet *internet.Internet, agent ServiceDirectory, cfg GatewayConfig) *GatewayProvider {
 	cfg = cfg.withDefaults()
 	g := &GatewayProvider{
 		host:    host,
@@ -153,6 +159,17 @@ func (g *GatewayProvider) Start() error {
 		return g.selfHost.SendDatagram(&cp) == nil
 	})
 
+	if g.cfg.Trunk != nil {
+		trunk, err := newGatewayTrunk(g, *g.cfg.Trunk)
+		if err != nil {
+			g.inet.RemoveHost(g.host.ID())
+			g.host.SetDefaultHandler(nil)
+			conn.Close()
+			return err
+		}
+		g.trunk = trunk
+	}
+
 	// Keyed by our node ID so several gateways can coexist in the SLP
 	// caches; Connection Providers browse the type and pick one.
 	if err := g.agent.Register(slp.Service{
@@ -191,7 +208,13 @@ func (g *GatewayProvider) Stop() {
 		// Connection Provider fails over immediately instead of waiting for
 		// a ping timeout.
 		_ = g.conn.WriteTo((&tunnelMsg{Kind: tunClose}).marshal(), c.node, c.peer)
+		if g.trunk != nil {
+			g.inet.UnregisterTrunkClient(c.node, g.host.ID())
+		}
 		g.inet.RemoveHost(c.node)
+	}
+	if g.trunk != nil {
+		g.trunk.close()
 	}
 	// Withdraw the gateway's own Internet presence too, or the node can
 	// never come back as a gateway under the same ID.
@@ -205,6 +228,15 @@ func (g *GatewayProvider) Stop() {
 // Stats returns a snapshot of the gateway counters.
 func (g *GatewayProvider) Stats() GatewayStats {
 	return g.stats.snapshot()
+}
+
+// TrunkStats returns a snapshot of the trunk counters (zero when trunking is
+// disabled).
+func (g *GatewayProvider) TrunkStats() TrunkStats {
+	if g.trunk == nil {
+		return TrunkStats{}
+	}
+	return g.trunk.stats.snapshot()
 }
 
 // Clients returns the nodes currently tunnelled through this gateway.
@@ -260,6 +292,9 @@ func (g *GatewayProvider) handleOpen(node netem.NodeID, peerPort uint16) {
 		_ = g.conn.WriteTo((&tunnelMsg{Kind: tunOpenAck, OK: false}).marshal(), node, peerPort)
 		return
 	}
+	if g.trunk != nil {
+		g.inet.RegisterTrunkClient(node, g.host.ID())
+	}
 	c := &tunnelClient{node: node, peer: peerPort, vhost: vhost, lastSeen: g.clk.Now()}
 	vhost.SetSink(func(dg *netem.Datagram) {
 		data, err := encapsulate(dg)
@@ -296,7 +331,43 @@ func (g *GatewayProvider) handleData(node netem.NodeID, inner []byte) {
 	if err != nil {
 		return
 	}
+	// When the destination is another trunk-enabled gateway's tunnel client,
+	// fold the already-marshalled datagram into that gateway's trunk instead
+	// of sending it across the Internet on its own.
+	if g.trunk != nil {
+		if gw, ok := g.inet.TrunkGatewayFor(dg.DstNode); ok && gw != g.host.ID() {
+			if g.trunk.enqueue(gw, inner) {
+				return
+			}
+		}
+	}
 	_ = c.vhost.SendDatagram(dg)
+}
+
+// deliverTrunked hands a datagram received inside a trunk frame to its local
+// tunnel client, the same path an untrunked Internet datagram would take
+// through the client's virtual-host sink. If the client is gone (it
+// re-tunnelled elsewhere between send and receive), the datagram is re-sent
+// over the Internet so it still arrives via the client's current gateway.
+func (g *GatewayProvider) deliverTrunked(dg *netem.Datagram) {
+	g.mu.Lock()
+	c := g.clients[dg.DstNode]
+	var peer uint16
+	if c != nil {
+		peer = c.peer
+	}
+	g.mu.Unlock()
+	if c == nil {
+		cp := *dg
+		_ = g.selfHost.SendDatagram(&cp)
+		return
+	}
+	data, err := encapsulate(dg)
+	if err != nil {
+		return
+	}
+	g.stats.framesOut.Add(1)
+	_ = g.conn.WriteTo(data, c.node, peer)
 }
 
 func (g *GatewayProvider) touch(node netem.NodeID) {
@@ -316,6 +387,9 @@ func (g *GatewayProvider) closeClient(node netem.NodeID) {
 	if c != nil {
 		g.stats.tunnelsClosed.Add(1)
 		g.obsClients.Set(int64(active))
+		if g.trunk != nil {
+			g.inet.UnregisterTrunkClient(node, g.host.ID())
+		}
 		g.inet.RemoveHost(node)
 	}
 }

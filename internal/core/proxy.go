@@ -30,6 +30,12 @@ type ProxyConfig struct {
 	// Internet-attached: with a provider available as fallback, a missing
 	// MANET binding should fail over quickly (default 500ms).
 	SLPTimeoutAttached time.Duration
+	// SLPCacheOnly makes the default resolver chain's SLP hop answer from
+	// the local cache without ever querying the MANET. Federated islands
+	// set this: intra-island peers are already in the cache from their
+	// registration adverts, and a network-wide query for an inter-island
+	// AOR would only burn its full timeout before the DNS fallback wins.
+	SLPCacheOnly bool
 	// BindingTTL is the registrar binding lifetime (default 60s).
 	BindingTTL time.Duration
 	// ResolveRetries is how many times an INVITE whose SLP-resolved next hop
@@ -45,6 +51,12 @@ type ProxyConfig struct {
 	// paper relies on ("the SIP proxy can be deduced from the domain part
 	// of the SIP URI").
 	DNS func(domain string) sip.Addr
+	// Resolvers replaces the proxy's routing policy with a custom chain.
+	// Nil keeps the paper's default — local registrar, MANET SLP, Internet
+	// DNS (see Proxy.DefaultResolvers). Deployments compose their own chain
+	// from the exported constructors, e.g. to make SLP cache-only in a
+	// federation or to splice a DHT overlay registrar between SLP and DNS.
+	Resolvers []Resolver
 	// Clock is the time source (default the system clock).
 	Clock clock.Clock
 	// Obs records resolution spans and routing counters; it is also
@@ -149,12 +161,13 @@ type localBinding struct {
 // MANET SLP and, when the node is Internet-attached, through the user's SIP
 // provider.
 type Proxy struct {
-	host  *netem.Host
-	agent *slp.Agent
-	connp *ConnectionProvider // may be nil (isolated MANET)
-	cfg   ProxyConfig
-	clk   clock.Clock
-	stack *sip.Stack
+	host      *netem.Host
+	agent     ServiceDirectory
+	connp     *ConnectionProvider // may be nil (isolated MANET)
+	cfg       ProxyConfig
+	clk       clock.Clock
+	stack     *sip.Stack
+	resolvers ResolverChain
 
 	mu       sync.Mutex
 	bindings map[string]localBinding // AOR -> local UA contact
@@ -175,11 +188,12 @@ type Proxy struct {
 	wg sync.WaitGroup
 }
 
-// NewProxy creates the proxy. agent is the node's MANET SLP agent; connp may
-// be nil when the deployment has no Internet path at all.
-func NewProxy(host *netem.Host, agent *slp.Agent, connp *ConnectionProvider, cfg ProxyConfig) *Proxy {
+// NewProxy creates the proxy. agent is the node's service directory (the
+// MANET SLP agent in every deployment so far); connp may be nil when the
+// deployment has no Internet path at all.
+func NewProxy(host *netem.Host, agent ServiceDirectory, connp *ConnectionProvider, cfg ProxyConfig) *Proxy {
 	cfg = cfg.withDefaults()
-	return &Proxy{
+	p := &Proxy{
 		host:     host,
 		agent:    agent,
 		connp:    connp,
@@ -191,7 +205,32 @@ func NewProxy(host *netem.Host, agent *slp.Agent, connp *ConnectionProvider, cfg
 		invites:  make(map[string]*inviteForward),
 		creds:    make(map[string]upstreamCred),
 	}
+	if len(cfg.Resolvers) > 0 {
+		p.resolvers = ResolverChain(cfg.Resolvers)
+	} else {
+		p.resolvers = p.DefaultResolvers()
+	}
+	return p
 }
+
+// DefaultResolvers is the paper's routing policy as a resolver chain: the
+// local registrar first, then MANET SLP, then — when attached — the Internet
+// provider. Custom chains usually start from this and splice backends in.
+func (p *Proxy) DefaultResolvers() ResolverChain {
+	return ResolverChain{
+		NewRegistrarResolver(p),
+		NewSLPResolver(p.agent, SLPResolverConfig{
+			Timeout:         p.cfg.SLPTimeout,
+			TimeoutAttached: p.cfg.SLPTimeoutAttached,
+			CacheOnly:       p.cfg.SLPCacheOnly,
+			Self:            p.Addr(),
+		}),
+		NewDNSResolver(p.cfg.DNS),
+	}
+}
+
+// Resolvers returns the active resolver chain.
+func (p *Proxy) Resolvers() ResolverChain { return p.resolvers }
 
 // Start binds the SIP port and begins serving.
 func (p *Proxy) Start() error {
@@ -338,42 +377,23 @@ func (p *Proxy) handleRegister(tx *sip.ServerTx) {
 	}
 }
 
-// resolve maps a request's target to a next-hop transport address following
-// the paper's routing policy: explicit endpoints first, then the local
-// registrar, then MANET SLP, then — when attached — the Internet provider.
-// It returns the failing status code when nothing matches.
+// resolve maps a request's target to a next-hop transport address: explicit
+// endpoints are delivered directly, everything else walks the resolver chain
+// (the paper's policy by default — local registrar, MANET SLP, Internet
+// provider). It returns the failing status code when nothing matches.
 func (p *Proxy) resolve(req *sip.Message) (sip.Addr, string, int) {
 	uri := req.RequestURI
 	if uri.Port != 0 {
 		// Explicit endpoint (a UA contact): deliver directly.
 		return sip.Addr{Node: netem.NodeID(uri.Host), Port: uri.Port}, "endpoint", 0
 	}
-	aor := uri.AddressOfRecord()
-	now := p.clk.Now()
-	p.mu.Lock()
-	b, ok := p.bindings[aor]
-	p.mu.Unlock()
-	if ok && now.Before(b.expires) {
-		return b.contact, "local", 0
+	q := ResolveQuery{
+		URI:      uri,
+		AOR:      uri.AddressOfRecord(),
+		Attached: p.connp != nil && p.connp.Attached(),
 	}
-	// Consult MANET SLP (paper Figure 3 step 6). With an Internet
-	// fallback available, do not wait out the full epidemic-query
-	// timeout.
-	slpTimeout := p.cfg.SLPTimeout
-	attached := p.connp != nil && p.connp.Attached()
-	if attached && slpTimeout > p.cfg.SLPTimeoutAttached {
-		slpTimeout = p.cfg.SLPTimeoutAttached
-	}
-	if svc, err := p.agent.Lookup(SIPServiceType, aor, slpTimeout); err == nil {
-		if _, addrStr, err := slp.ParseServiceURL(svc.URL); err == nil {
-			if addr, err := sip.ParseAddr(addrStr); err == nil && addr != p.Addr() {
-				return addr, "slp", 0
-			}
-		}
-	}
-	// Fall back to the Internet when this node is attached.
-	if attached && strings.Contains(uri.Host, ".") {
-		return p.cfg.DNS(uri.Host), "internet", 0
+	if addr, kind, ok := p.resolvers.Resolve(q); ok {
+		return addr, kind, 0
 	}
 	return sip.Addr{}, "", sip.StatusNotFound
 }

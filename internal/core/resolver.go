@@ -1,0 +1,177 @@
+package core
+
+import (
+	"strings"
+	"time"
+
+	"siphoc/internal/netem"
+	"siphoc/internal/sip"
+	"siphoc/internal/slp"
+)
+
+// ServiceDirectory is the discovery surface the SIPHoc control plane needs
+// from its service-location backend: register/withdraw local services, query
+// the network, and manage cached results. *slp.Agent is the MANET SLP
+// implementation used everywhere today; the DHT overlay registrar on the
+// roadmap replaces it by implementing this interface — the proxy, the
+// Connection Provider and the Gateway Provider only ever see the interface.
+type ServiceDirectory interface {
+	// Register advertises a local service.
+	Register(svc slp.Service) error
+	// Deregister withdraws a local service.
+	Deregister(stype, key string)
+	// Evict drops a cached remote entry (e.g. after a silent next hop).
+	Evict(stype, key string)
+	// InvalidateOrigin drops every cached entry learned from origin.
+	InvalidateOrigin(origin netem.NodeID) int
+	// LookupCached answers from the local cache only.
+	LookupCached(stype, key string) (slp.Service, bool)
+	// Lookup answers from the cache or queries the network within timeout.
+	Lookup(stype, key string, timeout time.Duration) (slp.Service, error)
+	// Services lists known services of a type (local and cached).
+	Services(stype string) []slp.Service
+}
+
+var _ ServiceDirectory = (*slp.Agent)(nil)
+
+// ResolveQuery is one routing decision presented to a Resolver: the
+// Request-URI being routed plus the context the paper's policy depends on.
+// It is passed by value so a chain walk allocates nothing.
+type ResolveQuery struct {
+	// URI is the request's target (Port is always 0 here; explicit
+	// endpoints are routed before resolvers run).
+	URI *sip.URI
+	// AOR is URI.AddressOfRecord(), precomputed once per request.
+	AOR string
+	// Attached reports whether the node currently reaches the Internet.
+	Attached bool
+}
+
+// Resolver is one lookup backend in the proxy's routing policy. Implementers
+// answer with the next-hop transport address for the query, or ok=false to
+// let the next resolver in the chain try. The built-in chain is the paper's
+// policy — local registrar, then MANET SLP, then the Internet provider — and
+// the interface is the extension point for alternative backends (the DHT
+// overlay registrar of ROADMAP item 3 slots in between SLP and DNS).
+type Resolver interface {
+	// Kind names the resolver in stats and traces ("local", "slp",
+	// "internet", ...).
+	Kind() string
+	// Resolve maps the query to a next hop.
+	Resolve(q ResolveQuery) (sip.Addr, bool)
+}
+
+// ResolverChain tries each resolver in order; the first match wins.
+type ResolverChain []Resolver
+
+// Resolve walks the chain and returns the winning resolver's answer and
+// kind. The walk itself is allocation-free.
+func (c ResolverChain) Resolve(q ResolveQuery) (sip.Addr, string, bool) {
+	for _, r := range c {
+		if addr, ok := r.Resolve(q); ok {
+			return addr, r.Kind(), true
+		}
+	}
+	return sip.Addr{}, "", false
+}
+
+// registrarResolver answers from the proxy's own registrar bindings (the
+// locally registered UA).
+type registrarResolver struct{ p *Proxy }
+
+// NewRegistrarResolver resolves against p's local registrar bindings.
+func NewRegistrarResolver(p *Proxy) Resolver { return registrarResolver{p} }
+
+func (registrarResolver) Kind() string { return "local" }
+
+func (r registrarResolver) Resolve(q ResolveQuery) (sip.Addr, bool) {
+	p := r.p
+	now := p.clk.Now()
+	p.mu.Lock()
+	b, ok := p.bindings[q.AOR]
+	p.mu.Unlock()
+	if ok && now.Before(b.expires) {
+		return b.contact, true
+	}
+	return sip.Addr{}, false
+}
+
+// SLPResolverConfig tunes an SLP-backed resolver.
+type SLPResolverConfig struct {
+	// Timeout bounds a network query when the node is detached.
+	Timeout time.Duration
+	// TimeoutAttached bounds the query when an Internet fallback exists
+	// (fail over fast instead of waiting out the epidemic query).
+	TimeoutAttached time.Duration
+	// CacheOnly answers only from the local cache and never queries the
+	// network. Federated deployments use this: piggyback dissemination keeps
+	// intra-island caches warm, and inter-island targets go straight to the
+	// provider tier instead of paying a doomed MANET-wide query first.
+	CacheOnly bool
+	// Self is the owning proxy's own address; SLP answers pointing back at
+	// it are ignored (we *are* that proxy).
+	Self sip.Addr
+}
+
+type slpResolver struct {
+	dir ServiceDirectory
+	cfg SLPResolverConfig
+}
+
+// NewSLPResolver resolves AORs through a service directory (MANET SLP or
+// whatever replaces it).
+func NewSLPResolver(dir ServiceDirectory, cfg SLPResolverConfig) Resolver {
+	return slpResolver{dir: dir, cfg: cfg}
+}
+
+func (slpResolver) Kind() string { return "slp" }
+
+func (r slpResolver) Resolve(q ResolveQuery) (sip.Addr, bool) {
+	var svc slp.Service
+	if r.cfg.CacheOnly {
+		var ok bool
+		if svc, ok = r.dir.LookupCached(SIPServiceType, q.AOR); !ok {
+			return sip.Addr{}, false
+		}
+	} else {
+		timeout := r.cfg.Timeout
+		if q.Attached && timeout > r.cfg.TimeoutAttached {
+			timeout = r.cfg.TimeoutAttached
+		}
+		var err error
+		if svc, err = r.dir.Lookup(SIPServiceType, q.AOR, timeout); err != nil {
+			return sip.Addr{}, false
+		}
+	}
+	_, addrStr, err := slp.ParseServiceURL(svc.URL)
+	if err != nil {
+		return sip.Addr{}, false
+	}
+	addr, err := sip.ParseAddr(addrStr)
+	if err != nil || addr == r.cfg.Self {
+		return sip.Addr{}, false
+	}
+	return addr, true
+}
+
+// dnsResolver is the Internet fallback: when the node is attached and the
+// target domain looks routable (contains a dot), hand the request to the
+// domain's provider.
+type dnsResolver struct {
+	dns func(domain string) sip.Addr
+}
+
+// NewDNSResolver resolves through the deployment's DNS function (domain ->
+// provider proxy address).
+func NewDNSResolver(dns func(domain string) sip.Addr) Resolver {
+	return dnsResolver{dns: dns}
+}
+
+func (dnsResolver) Kind() string { return "internet" }
+
+func (r dnsResolver) Resolve(q ResolveQuery) (sip.Addr, bool) {
+	if !q.Attached || !strings.Contains(q.URI.Host, ".") {
+		return sip.Addr{}, false
+	}
+	return r.dns(q.URI.Host), true
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"siphoc/internal/netem"
+	"siphoc/internal/sip"
+	"siphoc/internal/slp"
+)
+
+// stubDirectory is a canned ServiceDirectory for resolver tests: a fixed
+// cache plus counters for which lookup path was taken.
+type stubDirectory struct {
+	cached  map[string]slp.Service
+	net     map[string]slp.Service
+	cacheQ  int
+	netQ    int
+	evicted []string
+}
+
+func (s *stubDirectory) Register(svc slp.Service) error { return nil }
+func (s *stubDirectory) Deregister(stype, key string)   {}
+func (s *stubDirectory) Evict(stype, key string) {
+	s.evicted = append(s.evicted, stype+"/"+key)
+}
+func (s *stubDirectory) InvalidateOrigin(origin netem.NodeID) int { return 0 }
+
+func (s *stubDirectory) LookupCached(stype, key string) (slp.Service, bool) {
+	s.cacheQ++
+	svc, ok := s.cached[stype+"/"+key]
+	return svc, ok
+}
+
+func (s *stubDirectory) Lookup(stype, key string, timeout time.Duration) (slp.Service, error) {
+	if svc, ok := s.cached[stype+"/"+key]; ok {
+		s.cacheQ++
+		return svc, nil
+	}
+	s.netQ++
+	if svc, ok := s.net[stype+"/"+key]; ok {
+		return svc, nil
+	}
+	return slp.Service{}, fmt.Errorf("stub: %s/%s not found", stype, key)
+}
+
+func (s *stubDirectory) Services(stype string) []slp.Service { return nil }
+
+func cachedSIP(aor, addr string) map[string]slp.Service {
+	return map[string]slp.Service{
+		SIPServiceType + "/" + aor: {
+			Type: SIPServiceType,
+			Key:  aor,
+			URL:  slp.ServiceURL(SIPServiceType, addr),
+		},
+	}
+}
+
+func query(aor string, attached bool) ResolveQuery {
+	uri := sip.MustParseURI("sip:" + aor)
+	return ResolveQuery{URI: uri, AOR: aor, Attached: attached}
+}
+
+// kindResolver answers a fixed address for one AOR, for chain-order tests.
+type kindResolver struct {
+	kind string
+	aor  string
+	addr sip.Addr
+}
+
+func (r kindResolver) Kind() string { return r.kind }
+func (r kindResolver) Resolve(q ResolveQuery) (sip.Addr, bool) {
+	if q.AOR == r.aor {
+		return r.addr, true
+	}
+	return sip.Addr{}, false
+}
+
+func TestResolverChainFirstMatchWins(t *testing.T) {
+	chain := ResolverChain{
+		kindResolver{kind: "a", aor: "x@d.ch", addr: sip.Addr{Node: "n1", Port: 1}},
+		kindResolver{kind: "b", aor: "x@d.ch", addr: sip.Addr{Node: "n2", Port: 2}},
+		kindResolver{kind: "c", aor: "y@d.ch", addr: sip.Addr{Node: "n3", Port: 3}},
+	}
+	addr, kind, ok := chain.Resolve(query("x@d.ch", false))
+	if !ok || kind != "a" || addr.Node != "n1" {
+		t.Fatalf("resolve x = %v %q %v, want first resolver", addr, kind, ok)
+	}
+	addr, kind, ok = chain.Resolve(query("y@d.ch", false))
+	if !ok || kind != "c" || addr.Node != "n3" {
+		t.Fatalf("resolve y = %v %q %v, want third resolver", addr, kind, ok)
+	}
+	if _, _, ok := chain.Resolve(query("z@d.ch", false)); ok {
+		t.Fatal("resolved an AOR no resolver knows")
+	}
+}
+
+func TestSLPResolverModes(t *testing.T) {
+	dir := &stubDirectory{
+		cached: cachedSIP("alice@voicehoc.ch", "10.0.0.1:5060"),
+		net: map[string]slp.Service{
+			SIPServiceType + "/bob@voicehoc.ch": {
+				Type: SIPServiceType,
+				Key:  "bob@voicehoc.ch",
+				URL:  slp.ServiceURL(SIPServiceType, "10.0.0.2:5060"),
+			},
+		},
+	}
+	r := NewSLPResolver(dir, SLPResolverConfig{Timeout: time.Second, TimeoutAttached: 100 * time.Millisecond})
+
+	if addr, ok := r.Resolve(query("alice@voicehoc.ch", false)); !ok || addr.Node != "10.0.0.1" {
+		t.Fatalf("cached resolve = %v %v", addr, ok)
+	}
+	if addr, ok := r.Resolve(query("bob@voicehoc.ch", false)); !ok || addr.Node != "10.0.0.2" {
+		t.Fatalf("network resolve = %v %v", addr, ok)
+	}
+	if dir.netQ != 1 {
+		t.Fatalf("network queries = %d, want 1", dir.netQ)
+	}
+
+	// Cache-only mode must never hit the network: the miss that would have
+	// triggered an epidemic query falls through instead.
+	co := NewSLPResolver(dir, SLPResolverConfig{CacheOnly: true})
+	if addr, ok := co.Resolve(query("alice@voicehoc.ch", false)); !ok || addr.Node != "10.0.0.1" {
+		t.Fatalf("cache-only hit = %v %v", addr, ok)
+	}
+	if _, ok := co.Resolve(query("carol@voicehoc.ch", false)); ok {
+		t.Fatal("cache-only resolver answered a cache miss")
+	}
+	if dir.netQ != 1 {
+		t.Fatalf("cache-only mode queried the network (netQ=%d)", dir.netQ)
+	}
+
+	// Answers pointing back at the resolving proxy itself are rejected.
+	self := NewSLPResolver(dir, SLPResolverConfig{
+		CacheOnly: true,
+		Self:      sip.Addr{Node: "10.0.0.1", Port: 5060},
+	})
+	if _, ok := self.Resolve(query("alice@voicehoc.ch", false)); ok {
+		t.Fatal("resolver returned its own proxy as next hop")
+	}
+}
+
+func TestDNSResolverGating(t *testing.T) {
+	r := NewDNSResolver(func(domain string) sip.Addr {
+		return sip.Addr{Node: netem.NodeID(domain), Port: sip.DefaultPort}
+	})
+	if _, ok := r.Resolve(query("alice@voicehoc.ch", false)); ok {
+		t.Fatal("DNS resolver answered while detached")
+	}
+	if _, ok := r.Resolve(query("alice@manet", true)); ok {
+		t.Fatal("DNS resolver answered for a dotless (MANET-local) host")
+	}
+	if addr, ok := r.Resolve(query("alice@voicehoc.ch", true)); !ok || addr.Node != "voicehoc.ch" {
+		t.Fatalf("DNS resolve = %v %v", addr, ok)
+	}
+}
+
+// The SLP hot path — a chain walk ending in a cache hit — must not allocate:
+// it runs once per routed request on every node.
+func TestResolverChainCachedLookupAllocFree(t *testing.T) {
+	dir := &stubDirectory{cached: cachedSIP("alice@voicehoc.ch", "10.0.0.7:5060")}
+	chain := ResolverChain{
+		NewSLPResolver(dir, SLPResolverConfig{CacheOnly: true}),
+	}
+	q := query("alice@voicehoc.ch", true)
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, _, ok := chain.Resolve(q); !ok {
+			t.Fatal("lookup missed")
+		}
+	}); allocs != 0 {
+		t.Fatalf("resolver chain cached lookup allocates %.1f times per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,427 @@
+package core
+
+// Trunk equivalence tests: inter-gateway trunking changes how media crosses
+// the Internet (batched trunk frames instead of one datagram per RTP packet)
+// but must not change what arrives — the played bytes, their timing and the
+// resulting MOS have to be identical to the untrunked path. The fixtures run
+// a two-island federation (each island a MANET of one client and one gateway,
+// joined only by the simulated Internet) on a fake clock, using the
+// settle-then-step driver from the rtp golden tests so both variants execute
+// the same deterministic schedule.
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"siphoc/internal/clock"
+	"siphoc/internal/internet"
+	"siphoc/internal/netem"
+	"siphoc/internal/rtp"
+	"siphoc/internal/slp"
+)
+
+// islandRoutes is a static intra-island next-hop table: cross-island
+// destinations are unknown, so they fall through to the Connection Provider's
+// default handler and take the tunnel.
+type islandRoutes struct{ next map[netem.NodeID]netem.NodeID }
+
+func (r islandRoutes) NextHop(dst netem.NodeID) (netem.NodeID, bool) {
+	nh, ok := r.next[dst]
+	return nh, ok
+}
+func (r islandRoutes) RequestRoute(dst netem.NodeID, done func(bool)) {
+	_, ok := r.next[dst]
+	done(ok)
+}
+
+// trunkIsland is one MANET island: a client node one radio hop from its
+// gateway, with SLP in multicast mode (no routing protocol needed at this
+// scale) and a Connection Provider scoped to the island's address prefix.
+type trunkIsland struct {
+	net    *netem.Network
+	client *netem.Host
+	gwHost *netem.Host
+	gw     *GatewayProvider
+	cp     *ConnectionProvider
+}
+
+func buildTrunkIsland(t *testing.T, clk clock.Clock, prefix string, inet *internet.Internet, pacer *rtp.Pacer, trunked bool) *trunkIsland {
+	t.Helper()
+	is := &trunkIsland{}
+	is.net = netem.NewNetwork(netem.Config{BaseDelay: 700 * time.Microsecond, Clock: clk})
+	t.Cleanup(is.net.Close)
+
+	clientID := netem.NodeID(prefix + ".0.1")
+	gwID := netem.NodeID(prefix + ".0.2")
+	var err error
+	if is.client, err = is.net.AddHost(clientID, netem.Position{}); err != nil {
+		t.Fatal(err)
+	}
+	if is.gwHost, err = is.net.AddHost(gwID, netem.Position{X: 50}); err != nil {
+		t.Fatal(err)
+	}
+	is.client.SetRouteProvider(islandRoutes{next: map[netem.NodeID]netem.NodeID{gwID: gwID}})
+	is.gwHost.SetRouteProvider(islandRoutes{next: map[netem.NodeID]netem.NodeID{clientID: clientID}})
+
+	agents := make(map[netem.NodeID]*slp.Agent)
+	for _, h := range []*netem.Host{is.client, is.gwHost} {
+		agent := slp.NewAgent(h, slp.Config{Mode: slp.ModeMulticast, Clock: clk})
+		if err := agent.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(agent.Stop)
+		agents[h.ID()] = agent
+	}
+
+	gwCfg := GatewayConfig{ClientTTL: time.Hour, Clock: clk}
+	if trunked {
+		gwCfg.Trunk = &TrunkConfig{Pacer: pacer}
+	}
+	is.gw = NewGatewayProvider(is.gwHost, inet, agents[gwID], gwCfg)
+	if err := is.gw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(is.gw.Stop)
+
+	is.cp = NewConnectionProvider(is.client, agents[clientID], ConnProviderConfig{
+		ProbeInterval: 100 * time.Millisecond,
+		LookupTimeout: 200 * time.Millisecond,
+		AckTimeout:    500 * time.Millisecond,
+		Clock:         clk,
+		IsLocal: func(id netem.NodeID) bool {
+			return strings.HasPrefix(string(id), prefix+".")
+		},
+	})
+	if err := is.cp.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(is.cp.Stop)
+	return is
+}
+
+// fedSim drives a two-island federation on a fake clock with the
+// settle-then-step pattern: settle waits for event quiescence at the current
+// fake instant, step advances in 2 ms increments (a divisor of the 20 ms
+// media cadence).
+type fedSim struct {
+	clk      *clock.Fake
+	nets     []*netem.Network
+	sessions []*rtp.Session
+
+	rawMu    sync.Mutex
+	rawData  [][]byte
+	rawTimes []time.Time
+}
+
+type fedSnap struct {
+	frames  int64
+	deliv   int64
+	recv    int64
+	raw     int
+	pending int
+}
+
+func (s *fedSim) snap() fedSnap {
+	var out fedSnap
+	for _, n := range s.nets {
+		st := n.Stats()
+		out.frames += st.TotalFrames()
+		out.deliv += st.Deliveries
+	}
+	for _, sess := range s.sessions {
+		out.recv += sess.Stats().Received
+	}
+	s.rawMu.Lock()
+	out.raw = len(s.rawData)
+	s.rawMu.Unlock()
+	out.pending = s.clk.PendingTimers()
+	return out
+}
+
+func (s *fedSim) settle() {
+	prev := s.snap()
+	stable := 0
+	for stable < 3 {
+		time.Sleep(150 * time.Microsecond)
+		cur := s.snap()
+		if cur == prev {
+			stable++
+		} else {
+			stable = 0
+			prev = cur
+		}
+	}
+}
+
+func (s *fedSim) step(n int) {
+	for range n {
+		s.clk.Advance(2 * time.Millisecond)
+		s.settle()
+	}
+}
+
+// trunkGoldenResult is everything observable about one golden federation
+// call: the receiving session's accounting plus the raw bytes (and arrival
+// instants) captured on the reverse direction.
+type trunkGoldenResult struct {
+	played, late, missing int64
+	stats                 rtp.Stats
+	rawData               [][]byte
+	rawTimes              []time.Time
+	trunkA, trunkB        TrunkStats
+	internetData          int64
+}
+
+// runTrunkGoldenCall runs one bidirectional cross-island media exchange:
+// client A streams to client B's session (quality accounting) while client B
+// streams to a raw capture port on client A (bit-level accounting).
+func runTrunkGoldenCall(t *testing.T, trunked bool) trunkGoldenResult {
+	t.Helper()
+	sim := &fedSim{clk: clock.NewFake(time.Unix(3_000_000, 0))}
+	inet := internet.New(internet.Config{Delay: 700 * time.Microsecond, Clock: sim.clk})
+	t.Cleanup(inet.Close)
+	pacer := rtp.NewPacer(sim.clk)
+	t.Cleanup(pacer.Close)
+
+	a := buildTrunkIsland(t, sim.clk, "10.1", inet, pacer, trunked)
+	b := buildTrunkIsland(t, sim.clk, "10.2", inet, pacer, trunked)
+	sim.nets = []*netem.Network{a.net, b.net, inet.Network()}
+
+	connA, err := a.client.Listen(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	connB, err := b.client.Listen(4001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := a.client.Listen(4002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessA := rtp.NewSessionWithPacer(connA, sim.clk, 11, pacer)
+	sessB := rtp.NewSessionWithPacer(connB, sim.clk, 22, pacer)
+	t.Cleanup(sessA.Close)
+	t.Cleanup(sessB.Close)
+	sim.sessions = []*rtp.Session{sessA, sessB}
+
+	rawDone := make(chan struct{})
+	go func() {
+		defer close(rawDone)
+		for {
+			dg, ok := raw.Recv()
+			if !ok {
+				return
+			}
+			sim.rawMu.Lock()
+			sim.rawData = append(sim.rawData, append([]byte(nil), dg.Data...))
+			sim.rawTimes = append(sim.rawTimes, sim.clk.Now())
+			sim.rawMu.Unlock()
+		}
+	}()
+
+	// Drive both islands to Internet attachment.
+	sim.settle()
+	for i := 0; i < 1000 && !(a.cp.Attached() && b.cp.Attached()); i++ {
+		sim.step(1)
+	}
+	if !a.cp.Attached() || !b.cp.Attached() {
+		t.Fatal("islands never attached to their gateways")
+	}
+	// Align both variants on the same absolute fake instant before media
+	// starts, so the clock values embedded in voice payloads — and therefore
+	// the raw bytes on the wire — are comparable bit for bit.
+	target := time.Unix(3_000_000, 0).Add(4 * time.Second)
+	for sim.clk.Now().Before(target) {
+		sim.step(1)
+	}
+	if !sim.clk.Now().Equal(target) {
+		t.Fatalf("media start misaligned: %v", sim.clk.Now())
+	}
+
+	const frames = 50
+	internetBefore := inet.Network().Stats().DataFrames
+	stAB := sessA.StartStream(b.client.ID(), 4001, frames)
+	stBA := sessB.StartStream(a.client.ID(), 4002, frames)
+	sim.settle()
+	for {
+		sim.step(1)
+		select {
+		case <-stAB.Done():
+		default:
+			continue
+		}
+		select {
+		case <-stBA.Done():
+		default:
+			continue
+		}
+		break
+	}
+	sim.step(150) // 300 ms: drain in-flight frames and the playout buffer
+
+	if sent := stAB.Wait(); sent != frames {
+		t.Fatalf("A->B sent = %d, want %d", sent, frames)
+	}
+	if sent := stBA.Wait(); sent != frames {
+		t.Fatalf("B->A sent = %d, want %d", sent, frames)
+	}
+
+	res := trunkGoldenResult{
+		stats:        sessB.Stats(),
+		trunkA:       a.gw.TrunkStats(),
+		trunkB:       b.gw.TrunkStats(),
+		internetData: inet.Network().Stats().DataFrames - internetBefore,
+	}
+	res.played, res.late, res.missing = sessB.PlayoutStats()
+	raw.Close()
+	<-rawDone
+	res.rawData = sim.rawData
+	res.rawTimes = sim.rawTimes
+	return res
+}
+
+// TestTrunkGoldenEquivalence runs the same seeded cross-island call with and
+// without trunking and demands bit-identical media on the wire, identical
+// arrival instants, and identical playout/quality accounting. With one stream
+// per direction every flush is inline, so trunking must be invisible.
+func TestTrunkGoldenEquivalence(t *testing.T) {
+	plain := runTrunkGoldenCall(t, false)
+	trunked := runTrunkGoldenCall(t, true)
+
+	if plain.played != trunked.played || plain.late != trunked.late || plain.missing != trunked.missing {
+		t.Fatalf("playout diverged: untrunked %d/%d/%d, trunked %d/%d/%d",
+			plain.played, plain.late, plain.missing,
+			trunked.played, trunked.late, trunked.missing)
+	}
+	if plain.stats != trunked.stats {
+		t.Fatalf("receiver stats diverged:\nuntrunked %+v\ntrunked  %+v", plain.stats, trunked.stats)
+	}
+	if plain.stats.MOS == 0 || plain.played == 0 {
+		t.Fatalf("degenerate golden run: played=%d stats=%+v", plain.played, plain.stats)
+	}
+	if len(plain.rawData) != len(trunked.rawData) {
+		t.Fatalf("raw arrival count diverged: %d vs %d", len(plain.rawData), len(trunked.rawData))
+	}
+	if len(plain.rawData) == 0 {
+		t.Fatal("raw capture recorded nothing")
+	}
+	for i := range plain.rawData {
+		if !bytes.Equal(plain.rawData[i], trunked.rawData[i]) {
+			t.Fatalf("raw packet %d differs between variants", i)
+		}
+		if !plain.rawTimes[i].Equal(trunked.rawTimes[i]) {
+			t.Fatalf("raw packet %d arrival diverged: %v vs %v",
+				i, plain.rawTimes[i], trunked.rawTimes[i])
+		}
+	}
+
+	// The equivalence is only meaningful if the trunk actually carried the
+	// media: both gateways must have trunked every cross-island packet.
+	for name, ts := range map[string]TrunkStats{"gwA": trunked.trunkA, "gwB": trunked.trunkB} {
+		if ts.PayloadsBatched == 0 || ts.FramesSent == 0 || ts.FramesRecv == 0 {
+			t.Fatalf("%s trunk never engaged: %+v", name, ts)
+		}
+		if ts.PayloadsDelivered != ts.PayloadsBatched {
+			t.Fatalf("%s trunk dropped payloads: %+v", name, ts)
+		}
+	}
+	if plain.trunkA.PayloadsBatched != 0 {
+		t.Fatalf("untrunked run engaged a trunk: %+v", plain.trunkA)
+	}
+}
+
+// TestTrunkBatchesConcurrentStreams checks the point of trunking: many
+// concurrent streams crossing the same gateway pair collapse into far fewer
+// Internet datagrams than the per-packet path needs.
+func TestTrunkBatchesConcurrentStreams(t *testing.T) {
+	sim := &fedSim{clk: clock.NewFake(time.Unix(4_000_000, 0))}
+	inet := internet.New(internet.Config{Delay: 700 * time.Microsecond, Clock: sim.clk})
+	t.Cleanup(inet.Close)
+	pacer := rtp.NewPacer(sim.clk)
+	t.Cleanup(pacer.Close)
+
+	a := buildTrunkIsland(t, sim.clk, "10.1", inet, pacer, true)
+	b := buildTrunkIsland(t, sim.clk, "10.2", inet, pacer, true)
+	sim.nets = []*netem.Network{a.net, b.net, inet.Network()}
+
+	connA, err := a.client.Listen(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessA := rtp.NewSessionWithPacer(connA, sim.clk, 11, pacer)
+	t.Cleanup(sessA.Close)
+	sim.sessions = []*rtp.Session{sessA}
+
+	const streams = 8
+	const frames = 25
+	var recvMu sync.Mutex
+	received := 0
+	for i := 0; i < streams; i++ {
+		conn, err := b.client.Listen(uint16(5000 + i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(conn.Close)
+		go func() {
+			for {
+				if _, ok := conn.Recv(); !ok {
+					return
+				}
+				recvMu.Lock()
+				received++
+				recvMu.Unlock()
+			}
+		}()
+	}
+
+	sim.settle()
+	for i := 0; i < 1000 && !(a.cp.Attached() && b.cp.Attached()); i++ {
+		sim.step(1)
+	}
+	if !a.cp.Attached() || !b.cp.Attached() {
+		t.Fatal("islands never attached")
+	}
+
+	handles := make([]*rtp.Stream, streams)
+	for i := range handles {
+		handles[i] = sessA.StartStream(b.client.ID(), uint16(5000+i), frames)
+	}
+	sim.settle()
+	for done := false; !done; {
+		sim.step(1)
+		done = true
+		for _, st := range handles {
+			select {
+			case <-st.Done():
+			default:
+				done = false
+			}
+		}
+	}
+	sim.step(100)
+
+	ts := a.gw.TrunkStats() // sender side: batching
+	tr := b.gw.TrunkStats() // receiver side: fan-out
+	if ts.PayloadsBatched != int64(streams*frames) {
+		t.Fatalf("trunked payloads = %d, want %d (stats %+v)", ts.PayloadsBatched, streams*frames, ts)
+	}
+	if tr.PayloadsDelivered != ts.PayloadsBatched || tr.FramesRecv != ts.FramesSent {
+		t.Fatalf("trunk dropped traffic: sent %+v, recv %+v", ts, tr)
+	}
+	recvMu.Lock()
+	got := received
+	recvMu.Unlock()
+	if got != streams*frames {
+		t.Fatalf("receivers saw %d packets, want %d", got, streams*frames)
+	}
+	// The whole point: 8 concurrent streams should need far fewer
+	// inter-gateway datagrams than packets. Demand at least a 4x reduction.
+	if ts.FramesSent*4 > ts.PayloadsBatched {
+		t.Fatalf("trunk barely batched: %d frames for %d payloads (%+v)",
+			ts.FramesSent, ts.PayloadsBatched, ts)
+	}
+}

@@ -35,6 +35,7 @@ func All() []Experiment {
 		{"E10", "Transparency under gateway churn", "§3.2", E10},
 		{"E11", "Scalability with network size", "§4/§6 future work", E11},
 		{"E12", "Call success under mobility", "MANET premise of the title", E12},
+		{"E13", "Multi-MANET federation over a sharded provider tier", "beyond the paper; ROADMAP north star", E13},
 	}
 	sort.Slice(exps, func(i, j int) bool {
 		a, b := exps[i].ID, exps[j].ID

@@ -13,8 +13,10 @@ package internet
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
+	"siphoc/internal/clock"
 	"siphoc/internal/netem"
 )
 
@@ -33,6 +35,13 @@ func (FullMesh) RequestRoute(dst netem.NodeID, done func(bool)) { done(true) }
 // Internet wraps the fixed network.
 type Internet struct {
 	net *netem.Network
+
+	// Trunk directory: which gateway's tunnel currently serves a MANET
+	// client's virtual Internet presence. Gateways publish their tunnel
+	// clients here so a peer gateway can trunk media toward them instead of
+	// sending one Internet datagram per RTP packet.
+	trunkMu sync.RWMutex
+	trunk   map[netem.NodeID]netem.NodeID // vhost -> serving gateway
 }
 
 // Config tunes the simulated Internet.
@@ -42,6 +51,10 @@ type Config struct {
 	Delay time.Duration
 	// Seed seeds the loss RNG (losses default to zero).
 	Seed int64
+	// Clock drives the medium's delivery timers (default: real time).
+	// Federation tests and scenarios share one fake clock across every
+	// island MANET and the Internet for deterministic schedules.
+	Clock clock.Clock
 }
 
 // New creates an empty Internet.
@@ -53,6 +66,7 @@ func New(cfg Config) *Internet {
 		Range:     1e12, // everyone reaches everyone
 		BaseDelay: cfg.Delay,
 		Seed:      cfg.Seed,
+		Clock:     cfg.Clock,
 	})
 	return &Internet{net: n}
 }
@@ -72,6 +86,38 @@ func (i *Internet) AddHost(name netem.NodeID) (*netem.Host, error) {
 
 // RemoveHost detaches a host.
 func (i *Internet) RemoveHost(name netem.NodeID) { i.net.RemoveHost(name) }
+
+// RegisterTrunkClient records that vhost (a tunnel client's virtual Internet
+// host) is served by gw's trunk endpoint. Gateways call this when a tunnel
+// opens; it is the discovery side of inter-gateway media trunking.
+func (i *Internet) RegisterTrunkClient(vhost, gw netem.NodeID) {
+	i.trunkMu.Lock()
+	if i.trunk == nil {
+		i.trunk = make(map[netem.NodeID]netem.NodeID)
+	}
+	i.trunk[vhost] = gw
+	i.trunkMu.Unlock()
+}
+
+// UnregisterTrunkClient withdraws a tunnel client's trunk mapping, but only
+// if gw still owns it (a client may have re-tunnelled through another
+// gateway in the meantime).
+func (i *Internet) UnregisterTrunkClient(vhost, gw netem.NodeID) {
+	i.trunkMu.Lock()
+	if cur, ok := i.trunk[vhost]; ok && cur == gw {
+		delete(i.trunk, vhost)
+	}
+	i.trunkMu.Unlock()
+}
+
+// TrunkGatewayFor returns the gateway serving a tunnel client's virtual host,
+// if any. Allocation-free: it sits on the per-packet gateway data path.
+func (i *Internet) TrunkGatewayFor(vhost netem.NodeID) (netem.NodeID, bool) {
+	i.trunkMu.RLock()
+	gw, ok := i.trunk[vhost]
+	i.trunkMu.RUnlock()
+	return gw, ok
+}
 
 // Close shuts the Internet down.
 func (i *Internet) Close() { i.net.Close() }

@@ -30,6 +30,11 @@ type ProviderConfig struct {
 	Clock clock.Clock
 	// BindingTTL is how long registrations stay valid (default 60s).
 	BindingTTL time.Duration
+	// Shard, when set, makes this provider one member of a sharded tier: it
+	// only stores bindings for the AORs the shard map assigns to its index
+	// and statelessly relays everything else to the owner shard. Normally
+	// wired by NewProviderPool.
+	Shard *ShardRole
 }
 
 // Provider is a centralized Internet SIP service: registrar plus stateful
@@ -60,11 +65,12 @@ type binding struct {
 
 // ProviderStats counts registrar/proxy activity.
 type ProviderStats struct {
-	Registers  int64
-	Invites    int64
-	Forwarded  int64
-	Rejected   int64
-	Challenged int64 // 401 digest challenges issued
+	Registers     int64
+	Invites       int64
+	Forwarded     int64
+	Rejected      int64
+	Challenged    int64 // 401 digest challenges issued
+	ShardForwards int64 // requests relayed to the owning shard
 }
 
 // NewProvider starts a provider on the Internet. Its proxy host (and, if
@@ -89,10 +95,11 @@ func NewProvider(inet *Internet, cfg ProviderConfig) (*Provider, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.ProxyHost != cfg.Domain {
+	if cfg.ProxyHost != cfg.Domain && cfg.Shard == nil {
 		// The domain node exists but runs no SIP service: REGISTERs sent
 		// there (by clients that ignore the outbound-proxy requirement)
-		// time out, exactly like a host with no SIP listener.
+		// time out, exactly like a host with no SIP listener. Pool shards
+		// skip this: the pool owns the domain host (shard 0 runs on it).
 		if _, err := inet.AddHost(netem.NodeID(cfg.Domain)); err != nil {
 			return nil, err
 		}
@@ -186,6 +193,16 @@ func (p *Provider) onRequest(tx *sip.ServerTx) {
 func (p *Provider) handleRegister(tx *sip.ServerTx) {
 	req := tx.Request()
 	aor := req.To.URI.AddressOfRecord()
+	// In a sharded tier only the owner shard stores the binding; any other
+	// shard relays the REGISTER there, so clients can register through any
+	// front door without knowing the shard map.
+	if sh := p.cfg.Shard; sh != nil {
+		if owner := sh.Map.OwnerIndex(aor); owner >= 0 && owner != sh.Index {
+			p.countShardForward()
+			p.relay(tx, sh.Map.Addr(owner), false)
+			return
+		}
+	}
 	p.mu.Lock()
 	acct := p.accounts[aor]
 	p.stats.Registers++
@@ -261,6 +278,15 @@ func (p *Provider) forward(tx *sip.ServerTx, stateless bool) {
 		dst = sip.Addr{Node: netem.NodeID(uri.Host), Port: uri.Port}
 	} else if uri.Host == p.cfg.Domain {
 		aor := uri.AddressOfRecord()
+		// Sharded tier: the binding lives on the owner shard; relay there
+		// statelessly (no binding replication between shards).
+		if sh := p.cfg.Shard; sh != nil {
+			if owner := sh.Map.OwnerIndex(aor); owner >= 0 && owner != sh.Index {
+				p.countShardForward()
+				p.relay(tx, sh.Map.Addr(owner), stateless)
+				return
+			}
+		}
 		b, ok := p.Binding(aor)
 		if !ok {
 			if !stateless {
@@ -276,6 +302,19 @@ func (p *Provider) forward(tx *sip.ServerTx, stateless bool) {
 		// Another domain: forward to its proxy (DNS = host name).
 		dst = sip.Addr{Node: netem.NodeID(uri.Host), Port: sip.DefaultPort}
 	}
+	p.relay(tx, dst, stateless)
+}
+
+func (p *Provider) countShardForward() {
+	p.mu.Lock()
+	p.stats.ShardForwards++
+	p.mu.Unlock()
+}
+
+// relay forwards the transaction's request to dst and, for stateful relays,
+// shuttles the downstream responses back up with our Via popped.
+func (p *Provider) relay(tx *sip.ServerTx, dst sip.Addr, stateless bool) {
+	req := tx.Request()
 	fwd, err := sip.PrepareForward(req, p.stack.Addr())
 	if err != nil {
 		if !stateless {

@@ -141,8 +141,10 @@ func (h *Host) SetDefaultHandler(fn func(*Datagram) bool) {
 }
 
 // SetSink puts the host in promiscuous delivery mode: every datagram
-// addressed to this host is handed to fn instead of the port table. Gateway
-// tunnel endpoints use this to capture all traffic for a tunnelled node.
+// addressed to this host whose port is not explicitly bound is handed to fn
+// instead of being dropped. Gateway tunnel endpoints use this to capture all
+// traffic for a tunnelled node; the gateway's own trunk listener keeps its
+// bound port.
 func (h *Host) SetSink(fn func(*Datagram)) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -309,20 +311,24 @@ func (h *Host) deliverLocal(dg *Datagram) {
 	sink := h.sink
 	c := h.ports[dg.DstPort]
 	h.mu.RUnlock()
-	if sink != nil {
+	// A port bound on this host always wins; the promiscuous sink catches
+	// traffic for everything else. Gateways rely on this split: their
+	// Internet presence forwards arbitrary ports into the MANET while the
+	// trunk listener keeps receiving inter-gateway trunk frames locally.
+	if c != nil {
 		h.stats.received.Add(1)
-		sink(dg)
+		select {
+		case c.in <- dg:
+		default:
+			h.stats.portDrops.Add(1)
+		}
 		return
 	}
-	if c == nil {
+	if sink == nil {
 		return
 	}
 	h.stats.received.Add(1)
-	select {
-	case c.in <- dg:
-	default:
-		h.stats.portDrops.Add(1)
-	}
+	sink(dg)
 }
 
 // Listen binds a UDP-like port. Port 0 picks an ephemeral port.

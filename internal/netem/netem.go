@@ -25,6 +25,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"unsafe"
 )
 
 // NodeID identifies a node on the MANET, e.g. "10.0.0.1". The zero value is
@@ -112,6 +113,34 @@ func MarshalDatagram(d *Datagram) ([]byte, error) { return marshalDatagram(d) }
 // The returned datagram's Data aliases b; callers that reuse b must copy.
 func UnmarshalDatagram(b []byte) (*Datagram, error) { return unmarshalDatagram(b) }
 
+// AppendDatagram appends d's wire encoding to buf and returns the extended
+// slice. It is the allocation-free flavour of MarshalDatagram for callers
+// that batch many datagrams into one buffer (gateway trunk frames).
+func AppendDatagram(buf []byte, d *Datagram) ([]byte, error) {
+	if len(d.SrcNode) > 255 || len(d.DstNode) > 255 {
+		return buf, fmt.Errorf("netem: node id too long")
+	}
+	buf = append(buf, byte(len(d.SrcNode)))
+	buf = append(buf, d.SrcNode...)
+	buf = append(buf, byte(len(d.DstNode)))
+	buf = append(buf, d.DstNode...)
+	buf = binary.BigEndian.AppendUint16(buf, d.SrcPort)
+	buf = binary.BigEndian.AppendUint16(buf, d.DstPort)
+	buf = append(buf, d.TTL)
+	buf = append(buf, d.Data...)
+	return buf, nil
+}
+
+// UnmarshalDatagramInto decodes b into d, reusing the caller's Datagram.
+// Unlike UnmarshalDatagram, every field of d — the node IDs included —
+// aliases b, so d is only valid while b is: callers that retain d or reuse b
+// must copy first. This is the allocation-free flavour for per-packet
+// receive loops (the gateway trunk fan-out).
+func UnmarshalDatagramInto(d *Datagram, b []byte) error {
+	*d = Datagram{}
+	return decodeDatagramZeroCopy(d, b)
+}
+
 // marshalDatagram encodes d into wire format:
 //
 //	srcLen u8 | src | dstLen u8 | dst | srcPort u16 | dstPort u16 | ttl u8 | data
@@ -137,22 +166,46 @@ func marshalDatagram(d *Datagram) ([]byte, error) {
 // skip one allocation per hop.
 func unmarshalDatagram(b []byte) (*Datagram, error) {
 	d := &Datagram{}
+	if err := decodeDatagram(d, b); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func decodeDatagram(d *Datagram, b []byte) error {
+	return decodeDatagramWith(d, b, func(s []byte) NodeID { return NodeID(s) })
+}
+
+// zeroCopyNodeID views a byte slice as a NodeID without copying. The result
+// aliases s and is only valid while s is.
+func zeroCopyNodeID(s []byte) NodeID {
+	if len(s) == 0 {
+		return ""
+	}
+	return NodeID(unsafe.String(&s[0], len(s)))
+}
+
+func decodeDatagramZeroCopy(d *Datagram, b []byte) error {
+	return decodeDatagramWith(d, b, zeroCopyNodeID)
+}
+
+func decodeDatagramWith(d *Datagram, b []byte, nodeID func([]byte) NodeID) error {
 	if len(b) < 1 {
-		return nil, fmt.Errorf("netem: short datagram")
+		return fmt.Errorf("netem: short datagram")
 	}
 	n := int(b[0])
 	b = b[1:]
 	if len(b) < n+1 {
-		return nil, fmt.Errorf("netem: truncated src node")
+		return fmt.Errorf("netem: truncated src node")
 	}
-	d.SrcNode = NodeID(b[:n])
+	d.SrcNode = nodeID(b[:n])
 	b = b[n:]
 	n = int(b[0])
 	b = b[1:]
 	if len(b) < n+5 {
-		return nil, fmt.Errorf("netem: truncated dst node")
+		return fmt.Errorf("netem: truncated dst node")
 	}
-	d.DstNode = NodeID(b[:n])
+	d.DstNode = nodeID(b[:n])
 	b = b[n:]
 	d.SrcPort = binary.BigEndian.Uint16(b[0:2])
 	d.DstPort = binary.BigEndian.Uint16(b[2:4])
@@ -160,5 +213,5 @@ func unmarshalDatagram(b []byte) (*Datagram, error) {
 	if len(b) > 5 {
 		d.Data = b[5:]
 	}
-	return d, nil
+	return nil
 }

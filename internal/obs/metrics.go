@@ -194,6 +194,38 @@ func (s HistogramSnapshot) Mean() time.Duration {
 	return s.Sum / time.Duration(s.Count)
 }
 
+// Quantile estimates the q-th quantile (0 < q ≤ 1) by linear interpolation
+// within the bucket containing the target rank. Samples landing in the +Inf
+// bucket are reported as the last finite bound — the histogram cannot say
+// more — so tail quantiles saturate there. Returns 0 with no samples.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	var lower time.Duration
+	for _, b := range s.Buckets {
+		if b.Count > 0 && float64(cum)+float64(b.Count) >= rank {
+			if b.LE < 0 {
+				return lower // +Inf bucket: clamp to the last finite bound
+			}
+			frac := (rank - float64(cum)) / float64(b.Count)
+			return lower + time.Duration(frac*float64(b.LE-lower))
+		}
+		cum += b.Count
+		if b.LE >= 0 {
+			lower = b.LE
+		}
+	}
+	return lower
+}
+
 // Registry names and owns metrics. Handles are created on first use and
 // shared by name, so independent components accumulate into one metric when
 // they register the same name.

@@ -233,3 +233,34 @@ func TestConcurrentRecording(t *testing.T) {
 		t.Fatalf("histogram count = %d", got)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewRegistry().Histogram("q", []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+	})
+	// 8 samples in (0,10], 2 samples in (10,20].
+	for range 8 {
+		h.Observe(5 * time.Millisecond)
+	}
+	for range 2 {
+		h.Observe(15 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got != 6250*time.Microsecond {
+		t.Fatalf("p50 = %v, want 6.25ms (interpolated within first bucket)", got)
+	}
+	if got := s.Quantile(0.9); got != 15*time.Millisecond {
+		t.Fatalf("p90 = %v, want 15ms (rank 9 is halfway into the 2-sample bucket)", got)
+	}
+	if got := s.Quantile(1); got != 20*time.Millisecond {
+		t.Fatalf("p100 = %v, want 20ms", got)
+	}
+	// Samples beyond the last finite bound clamp there.
+	h.Observe(time.Hour)
+	if got := h.Snapshot().Quantile(1); got != 40*time.Millisecond {
+		t.Fatalf("overflow quantile = %v, want clamp to 40ms", got)
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+}

@@ -10,12 +10,47 @@ import (
 	"siphoc/internal/netem"
 )
 
+// Task is one unit of periodically paced work: the pacer calls fire when the
+// task's deadline passes, and fire answers with the interval to the next
+// firing (or done). Media streams are tasks, and so is the gateway trunk
+// flusher — anything that needs frame-rate scheduling shares the one pacer
+// goroutine instead of owning a timer.
+//
+// A Task is single-owner: it must not be scheduled again while it is still
+// registered with a pacer. Once fire returns done (or stopped runs), the same
+// Task value may be rescheduled — that is how intermittent tasks like the
+// trunk flusher park themselves while idle without allocating on re-arm.
+type Task struct {
+	// fire runs one step on the pacer goroutine and returns the interval to
+	// the next firing; ok=false retires the task.
+	fire func() (next time.Duration, ok bool)
+	// stopped, if non-nil, runs when the task leaves the pacer — after fire
+	// returned done, or when the pacer shuts down with the task still queued.
+	stopped func()
+
+	// due/seq belong to the pacer goroutine (and the single Schedule call
+	// before the task is visible to it).
+	due time.Time
+	seq uint64
+}
+
+// NewTask builds a schedulable task. stopped may be nil.
+func NewTask(fire func() (time.Duration, bool), stopped func()) *Task {
+	return &Task{fire: fire, stopped: stopped}
+}
+
+func (t *Task) stop() {
+	if t.stopped != nil {
+		t.stopped()
+	}
+}
+
 // Pacer is the media plane's shared frame scheduler: one goroutine drains a
-// (due, seq) min-heap of active streams and emits each stream's next voice
-// frame when its deadline passes — the same shape as netem's delivery
-// scheduler, replacing the goroutine-plus-timer-per-frame model. Any number
-// of concurrent streams across any number of sessions share the one
-// goroutine; a Scenario constructs one pacer for its whole deployment.
+// (due, seq) min-heap of active tasks and fires each one when its deadline
+// passes — the same shape as netem's delivery scheduler, replacing the
+// goroutine-plus-timer-per-frame model. Any number of concurrent streams and
+// trunk flows across any number of sessions share the one goroutine; a
+// Scenario constructs one pacer for its whole deployment.
 type Pacer struct {
 	clk clock.Clock
 
@@ -41,18 +76,24 @@ func NewPacer(clk clock.Clock) *Pacer {
 	return p
 }
 
-// add registers a stream whose first frame is due at st.due.
-func (p *Pacer) add(st *Stream) {
+// Clock returns the pacer's time source, so components scheduling tasks share
+// its notion of now.
+func (p *Pacer) Clock() clock.Clock { return p.clk }
+
+// Schedule registers t to fire at due. On a closed pacer the task's stopped
+// hook runs immediately.
+func (p *Pacer) Schedule(t *Task, due time.Time) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		st.finish()
+		t.stop()
 		return
 	}
-	st.seq = p.seq
+	t.due = due
+	t.seq = p.seq
 	p.seq++
-	heap.Push(&p.heap, st)
-	first := p.heap[0] == st
+	heap.Push(&p.heap, t)
+	first := p.heap[0] == t
 	p.mu.Unlock()
 	if first {
 		select {
@@ -64,13 +105,13 @@ func (p *Pacer) add(st *Stream) {
 
 func (p *Pacer) run() {
 	defer close(p.done)
-	var batch []*Stream
+	var batch []*Task
 	for {
 		p.mu.Lock()
 		now := p.clk.Now()
 		batch = batch[:0]
 		for len(p.heap) > 0 && !p.heap[0].due.After(now) {
-			batch = append(batch, heap.Pop(&p.heap).(*Stream))
+			batch = append(batch, heap.Pop(&p.heap).(*Task))
 		}
 		wait, pending := time.Duration(0), false
 		if len(p.heap) > 0 {
@@ -78,32 +119,32 @@ func (p *Pacer) run() {
 		}
 		p.mu.Unlock()
 		live := batch[:0]
-		for _, st := range batch {
-			if st.step() {
-				st.due = st.due.Add(FrameDuration)
-				live = append(live, st)
+		for _, t := range batch {
+			if d, ok := t.fire(); ok {
+				t.due = t.due.Add(d)
+				live = append(live, t)
 			} else {
-				st.finish()
+				t.stop()
 			}
 		}
 		if len(live) > 0 {
 			p.mu.Lock()
 			if p.closed {
 				p.mu.Unlock()
-				for _, st := range live {
-					st.finish()
+				for _, t := range live {
+					t.stop()
 				}
 				return
 			}
-			for _, st := range live {
-				st.seq = p.seq
+			for _, t := range live {
+				t.seq = p.seq
 				p.seq++
-				heap.Push(&p.heap, st)
+				heap.Push(&p.heap, t)
 			}
 			p.mu.Unlock()
 		}
 		if len(batch) > 0 {
-			continue // new deadlines may have passed while sending
+			continue // new deadlines may have passed while firing
 		}
 		if !pending {
 			select {
@@ -125,8 +166,8 @@ func (p *Pacer) run() {
 	}
 }
 
-// Close stops the scheduler goroutine. Streams still pacing are finished
-// immediately so their waiters unblock with the frames sent so far.
+// Close stops the scheduler goroutine. Tasks still queued are stopped
+// immediately, so stream waiters unblock with the frames sent so far.
 func (p *Pacer) Close() {
 	p.mu.Lock()
 	if p.closed {
@@ -135,18 +176,18 @@ func (p *Pacer) Close() {
 		return
 	}
 	p.closed = true
-	pending := append([]*Stream(nil), p.heap...)
+	pending := append([]*Task(nil), p.heap...)
 	p.heap = nil
 	p.mu.Unlock()
 	close(p.stop)
 	<-p.done
-	for _, st := range pending {
-		st.finish()
+	for _, t := range pending {
+		t.stop()
 	}
 }
 
-// pacerHeap is a min-heap of active streams ordered by (due, seq).
-type pacerHeap []*Stream
+// pacerHeap is a min-heap of scheduled tasks ordered by (due, seq).
+type pacerHeap []*Task
 
 func (h pacerHeap) Len() int { return len(h) }
 func (h pacerHeap) Less(i, j int) bool {
@@ -156,14 +197,14 @@ func (h pacerHeap) Less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 func (h pacerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *pacerHeap) Push(x any)   { *h = append(*h, x.(*Stream)) }
+func (h *pacerHeap) Push(x any)   { *h = append(*h, x.(*Task)) }
 func (h *pacerHeap) Pop() any {
 	old := *h
 	n := len(old)
-	st := old[n-1]
+	t := old[n-1]
 	old[n-1] = nil
 	*h = old[:n-1]
-	return st
+	return t
 }
 
 // Stream is a handle to one in-flight voice stream started by
@@ -176,11 +217,10 @@ type Stream struct {
 	port   uint16
 	frames int
 
-	// due/seq/i belong to the pacer goroutine (and the single registration
-	// in StartStream before the stream is visible to it).
-	due time.Time
-	seq uint64
-	i   int
+	// task is the stream's pacer registration; its closure is set once in
+	// StartStream so steady-state pacing allocates nothing.
+	task Task
+	i    int
 
 	// payload/wire/pkt are per-stream scratch reused every frame so the
 	// steady-state send path allocates nothing.
@@ -221,9 +261,9 @@ func (st *Stream) finish() {
 
 // step sends the stream's next frame and reports whether more remain. Called
 // only from the pacer goroutine.
-func (st *Stream) step() bool {
+func (st *Stream) step() (time.Duration, bool) {
 	if st.cancelled.Load() {
-		return false
+		return 0, false
 	}
 	s := st.sess
 	st.payload = AppendVoicePayload(st.payload[:0], uint32(st.i), s.clk.Now())
@@ -240,5 +280,8 @@ func (st *Stream) step() bool {
 	}
 	s.sent.Add(1)
 	st.i++
-	return st.i < st.frames
+	if st.i < st.frames {
+		return FrameDuration, true
+	}
+	return 0, false
 }

@@ -104,8 +104,9 @@ func (s *Session) StartStream(dst netem.NodeID, port uint16, frames int) *Stream
 	}
 	s.streams = append(s.streams, st)
 	s.mu.Unlock()
-	st.due = s.clk.Now()
-	pc.add(st)
+	st.task.fire = st.step
+	st.task.stopped = st.finish
+	pc.Schedule(&st.task, s.clk.Now())
 	return st
 }
 

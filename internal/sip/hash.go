@@ -1,0 +1,18 @@
+package sip
+
+// HashAOR is the canonical 32-bit FNV-1a hash of an address-of-record, the
+// key the sharded registrar tier distributes bindings by. It lives here so
+// every layer that partitions by AOR — provider shards today, a DHT overlay
+// registrar tomorrow — agrees on the hash without importing each other.
+func HashAOR(aor string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(aor); i++ {
+		h ^= uint32(aor[i])
+		h *= prime32
+	}
+	return h
+}

@@ -122,10 +122,10 @@ type deadlineItem struct {
 
 type deadlineHeap []deadlineItem
 
-func (h deadlineHeap) Len() int            { return len(h) }
-func (h deadlineHeap) Less(i, j int) bool  { return h[i].at.Before(h[j].at) }
-func (h deadlineHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *deadlineHeap) Push(x any)         { *h = append(*h, x.(deadlineItem)) }
+func (h deadlineHeap) Len() int           { return len(h) }
+func (h deadlineHeap) Less(i, j int) bool { return h[i].at.Before(h[j].at) }
+func (h deadlineHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *deadlineHeap) Push(x any)        { *h = append(*h, x.(deadlineItem)) }
 func (h *deadlineHeap) Pop() any {
 	old := *h
 	n := len(old)

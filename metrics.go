@@ -49,41 +49,3 @@ func (s *Scenario) Metrics() Metrics {
 	}
 	return m
 }
-
-// NetworkStats returns the radio medium counters.
-//
-// Deprecated: use Scenario.Metrics().Network; kept as a shim for callers of
-// the pre-observability API.
-func (s *Scenario) NetworkStats() NetworkStats { return s.net.Stats() }
-
-// ProxyStats returns the node's SIPHoc proxy counters.
-//
-// Deprecated: use Scenario.Metrics().Proxies[n.ID()].
-func (n *Node) ProxyStats() ProxyStats { return n.proxy.Stats() }
-
-// GatewayStats returns the node's Gateway Provider counters (the zero value
-// for non-gateway nodes).
-//
-// Deprecated: use Scenario.Metrics().Gateways[n.ID()].
-func (n *Node) GatewayStats() GatewayStats {
-	if n.gateway == nil {
-		return GatewayStats{}
-	}
-	return n.gateway.Stats()
-}
-
-// ConnStats returns the node's Connection Provider counters (the zero value
-// on gateways and nodes without one).
-//
-// Deprecated: use Scenario.Metrics().ConnProviders[n.ID()].
-func (n *Node) ConnStats() ConnStats {
-	if n.connp == nil {
-		return ConnStats{}
-	}
-	return n.connp.Stats()
-}
-
-// SLPStats returns the node's MANET SLP agent counters.
-//
-// Deprecated: use Scenario.Metrics().SLP[n.ID()].
-func (n *Node) SLPStats() SLPStats { return n.agent.Stats() }

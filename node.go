@@ -2,6 +2,7 @@ package siphoc
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -123,9 +124,14 @@ func (s *Scenario) newNode(id NodeID, pos Position, opts ...NodeOption) (*Node, 
 		return nil, err
 	}
 
-	// Gateway Provider on Internet-connected nodes.
+	// Gateway Provider on Internet-connected nodes. Trunking rides the
+	// scenario's shared media pacer.
 	if o.gateway {
-		n.gateway = core.NewGatewayProvider(host, s.inet, n.agent, core.GatewayConfig{Clock: s.clk, Obs: s.obs})
+		gwCfg := core.GatewayConfig{Clock: s.clk, Obs: s.obs}
+		if s.trunk {
+			gwCfg.Trunk = &core.TrunkConfig{Pacer: s.pacer}
+		}
+		n.gateway = core.NewGatewayProvider(host, s.inet, n.agent, gwCfg)
 		if err := n.gateway.Start(); err != nil {
 			cleanup()
 			return nil, err
@@ -134,13 +140,29 @@ func (s *Scenario) newNode(id NodeID, pos Position, opts ...NodeOption) (*Node, 
 
 	// Connection Provider everywhere else (a gateway is already attached).
 	if !o.noConnPrvdr && !o.gateway {
-		n.connp = core.NewConnectionProvider(host, n.agent, core.ConnProviderConfig{
+		cpCfg := core.ConnProviderConfig{
 			Clock:         s.clk,
 			Obs:           s.obs,
 			ProbeInterval: scaleDur(250*time.Millisecond, s.cfg.TimeScale),
 			LookupTimeout: scaleDur(200*time.Millisecond, s.cfg.TimeScale),
 			AckTimeout:    scaleDur(time.Second, s.cfg.TimeScale),
-		})
+		}
+		if s.prefix != "" {
+			// Federation island: only addresses under the island's own
+			// prefix are MANET-local; everything else (other islands, the
+			// provider tier) leaves through the gateway tunnel.
+			prefix := s.prefix + "."
+			cpCfg.IsLocal = func(id netem.NodeID) bool {
+				return strings.HasPrefix(string(id), prefix)
+			}
+			// Under a federation-scale call ramp the host is CPU-saturated
+			// and a ping round trip routinely overshoots AckTimeout while
+			// the gateway is perfectly alive. One spurious detach triggers a
+			// blacklist + failover + re-registration storm that snowballs,
+			// so tolerate a few missed probes before declaring it dead.
+			cpCfg.MissedProbeLimit = 4
+		}
+		n.connp = core.NewConnectionProvider(host, n.agent, cpCfg)
 		if err := n.connp.Start(); err != nil {
 			cleanup()
 			return nil, err
@@ -150,12 +172,20 @@ func (s *Scenario) newNode(id NodeID, pos Position, opts ...NodeOption) (*Node, 
 	// The SIPHoc proxy.
 	sipCfg := sip.SimConfig()
 	sipCfg.Clock = s.clk
-	n.proxy = core.NewProxy(host, n.agent, n.connp, core.ProxyConfig{
-		SIP:        sipCfg,
-		Clock:      s.clk,
-		Obs:        s.obs,
-		SLPTimeout: scaleDur(2*time.Second, s.cfg.TimeScale),
-	})
+	proxyCfg := core.ProxyConfig{
+		SIP:          sipCfg,
+		Clock:        s.clk,
+		Obs:          s.obs,
+		SLPTimeout:   scaleDur(2*time.Second, s.cfg.TimeScale),
+		SLPCacheOnly: s.prefix != "",
+	}
+	if s.prefix != "" {
+		// Federation workloads hold thousands of registrations across runs
+		// that last minutes; the 60 s default would expire bindings mid-call
+		// ramp. Nothing in the federation experiments tests expiry.
+		proxyCfg.BindingTTL = time.Hour
+	}
+	n.proxy = core.NewProxy(host, n.agent, n.connp, proxyCfg)
 	if err := n.proxy.Start(); err != nil {
 		cleanup()
 		return nil, err
@@ -255,6 +285,12 @@ func (n *Node) NewPhoneWith(cfg PhoneConfig) (*Phone, error) {
 	}
 	if cfg.MediaPacer == nil {
 		cfg.MediaPacer = n.scenario.pacer
+	}
+	if cfg.RegisterTTL == 0 && n.scenario.prefix != "" {
+		// Match the island proxy's federation binding TTL (see newNode):
+		// the requested Expires overrides the registrar default, so a 60 s
+		// phone TTL would win over the hour-long proxy/pool TTLs.
+		cfg.RegisterTTL = time.Hour
 	}
 	ph := voip.New(n.host, cfg)
 	if err := ph.Start(); err != nil {

@@ -40,6 +40,11 @@ func (k RoutingKind) String() string {
 }
 
 // ScenarioConfig configures a whole deployment.
+//
+// ScenarioConfig is the legacy positional surface: new code should build
+// scenarios with NewScenarioWith and ScenarioOption values, which compose
+// (a federation island can also carry a fault plan) instead of growing this
+// struct. The fields remain as thin wrappers for one release.
 type ScenarioConfig struct {
 	// Radio tunes the MANET medium; the zero value uses netem defaults
 	// (100 m range, ~0.5 ms per-hop delay).
@@ -90,6 +95,120 @@ func (c ScenarioConfig) withDefaults() ScenarioConfig {
 	return c
 }
 
+// ScenarioOption customizes scenario construction. Options are the canonical
+// construction surface (NewScenarioWith); they compose where ScenarioConfig
+// fields fork — a federation island can also carry a fault plan, share a
+// media pacer, and override routing, all in one call.
+type ScenarioOption func(*scenarioBuild)
+
+// scenarioBuild accumulates option state before the Scenario exists.
+type scenarioBuild struct {
+	cfg       ScenarioConfig
+	pacer     *rtp.Pacer         // shared external pacer (not closed by Scenario.Close)
+	inet      *internet.Internet // shared external Internet (not closed by Scenario.Close)
+	obs       *obs.Observer      // shared external observer
+	prefix    string             // federation: the island's address prefix ("10.2.0")
+	trunk     bool               // enable gateway trunk multiplexing
+	faultSeed *int64             // attach a deterministic fault plan
+}
+
+// WithRadio tunes the MANET medium (range, delay, loss, seed).
+func WithRadio(r netem.Config) ScenarioOption {
+	return func(b *scenarioBuild) { b.cfg.Radio = r }
+}
+
+// WithRoutingKind selects the MANET routing protocol scenario-wide (the
+// per-node override remains WithRouting, a NodeOption).
+func WithRoutingKind(k RoutingKind) ScenarioOption {
+	return func(b *scenarioBuild) { b.cfg.Routing = k }
+}
+
+// WithOLSR selects OLSR routing with an optional configuration override
+// (nil keeps olsr.SimConfig; see ScenarioConfig.OLSR for the scaling rules).
+func WithOLSR(cfg *olsr.Config) ScenarioOption {
+	return func(b *scenarioBuild) {
+		b.cfg.Routing = RoutingOLSR
+		b.cfg.OLSR = cfg
+	}
+}
+
+// WithSLPMode selects the MANET SLP dissemination mode.
+func WithSLPMode(m slp.Mode) ScenarioOption {
+	return func(b *scenarioBuild) { b.cfg.SLPMode = m }
+}
+
+// WithInternet attaches a simulated Internet with the given per-hop latency
+// (0 keeps the 5 ms default) that gateway nodes can bridge to.
+func WithInternet(delay time.Duration) ScenarioOption {
+	return func(b *scenarioBuild) {
+		b.cfg.Internet = true
+		b.cfg.InternetDelay = delay
+	}
+}
+
+// WithTimeScale stretches protocol timers by the given factor.
+func WithTimeScale(f float64) ScenarioOption {
+	return func(b *scenarioBuild) { b.cfg.TimeScale = f }
+}
+
+// WithClock sets the scenario time source (fake clocks give deterministic
+// schedules).
+func WithClock(c clock.Clock) ScenarioOption {
+	return func(b *scenarioBuild) { b.cfg.Clock = c }
+}
+
+// WithoutObservability disables the scenario-wide metrics registry and call
+// tracer, for overhead-sensitive benchmarks.
+func WithoutObservability() ScenarioOption {
+	return func(b *scenarioBuild) { b.cfg.NoObservability = true }
+}
+
+// WithMediaPacer shares an externally owned RTP pacer instead of creating a
+// per-scenario one. The scenario does not close it; the owner does. This is
+// how several federated islands pace all their media on one scheduler.
+func WithMediaPacer(p *rtp.Pacer) ScenarioOption {
+	return func(b *scenarioBuild) { b.pacer = p }
+}
+
+// WithTrunking enables gateway-side trunk multiplexing: concurrent RTP
+// streams crossing the same gateway pair are batched into one paced
+// inter-gateway flow (see core.TrunkConfig). The trunk rides the scenario's
+// media pacer.
+func WithTrunking() ScenarioOption {
+	return func(b *scenarioBuild) { b.trunk = true }
+}
+
+// WithFaultPlan attaches a deterministic, seeded fault plan to the scenario;
+// retrieve the harness with Scenario.Faults(). This replaces wrapping the
+// scenario in NewFaultScenario by hand and composes with WithFederation.
+func WithFaultPlan(seed int64) ScenarioOption {
+	return func(b *scenarioBuild) { b.faultSeed = &seed }
+}
+
+// WithFederation makes the scenario one island of a federation: it shares
+// the federation's clock, observer, simulated Internet and media pacer
+// (none of which Scenario.Close touches), scopes the Connection Provider's
+// locality test to the island's address prefix, enables trunking when the
+// federation asks for it, and switches the proxy's SLP resolver to
+// cache-only (see core.ProxyConfig.SLPCacheOnly for why).
+func WithFederation(f *FederationScenario, islandPrefix string) ScenarioOption {
+	return func(b *scenarioBuild) {
+		b.cfg.Internet = true
+		b.cfg.Clock = f.clk
+		b.cfg.TimeScale = f.cfg.TimeScale
+		b.obs = f.observer
+		b.inet = f.inet
+		b.pacer = f.pacer
+		b.prefix = islandPrefix
+		b.trunk = f.cfg.Trunk
+	}
+}
+
+// withConfig seeds the build from a legacy positional config.
+func withConfig(cfg ScenarioConfig) ScenarioOption {
+	return func(b *scenarioBuild) { b.cfg = cfg }
+}
+
 // Scenario is a complete deployment: a MANET, optionally a simulated
 // Internet with SIP providers, and the set of SIPHoc nodes.
 type Scenario struct {
@@ -101,6 +220,12 @@ type Scenario struct {
 	inet  *internet.Internet
 	pacer *rtp.Pacer // shared by every phone's media sessions
 
+	ownInet  bool   // close inet on Close (false for federation islands)
+	ownPacer bool   // close pacer on Close (false when shared)
+	prefix   string // federation island address prefix ("" = standalone)
+	trunk    bool   // gateway nodes run trunk multiplexing
+	faults   *FaultScenario
+
 	mu         sync.Mutex
 	nodes      map[netem.NodeID]*Node
 	providers  []*internet.Provider
@@ -108,33 +233,61 @@ type Scenario struct {
 	closed     bool
 }
 
-// NewScenario builds an empty deployment.
+// NewScenario builds an empty deployment from the legacy positional config.
+// New code should prefer NewScenarioWith.
 func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
-	cfg = cfg.withDefaults()
+	return NewScenarioWith(withConfig(cfg))
+}
+
+// NewScenarioWith builds an empty deployment from functional options.
+func NewScenarioWith(opts ...ScenarioOption) (*Scenario, error) {
+	var b scenarioBuild
+	for _, opt := range opts {
+		opt(&b)
+	}
+	cfg := b.cfg.withDefaults()
 	radio := cfg.Radio
 	if radio.Clock == nil {
 		radio.Clock = cfg.Clock
 	}
-	var observer *obs.Observer
-	if !cfg.NoObservability {
+	observer := b.obs
+	if observer == nil && !cfg.NoObservability {
 		observer = obs.New(cfg.Clock)
 	}
 	if radio.Obs == nil {
 		radio.Obs = observer
 	}
 	s := &Scenario{
-		cfg:   cfg,
-		clk:   cfg.Clock,
-		obs:   observer,
-		net:   netem.NewNetwork(radio),
-		pacer: rtp.NewPacer(cfg.Clock),
-		nodes: make(map[netem.NodeID]*Node),
+		cfg:    cfg,
+		clk:    cfg.Clock,
+		obs:    observer,
+		net:    netem.NewNetwork(radio),
+		prefix: b.prefix,
+		trunk:  b.trunk,
+		nodes:  make(map[netem.NodeID]*Node),
 	}
-	if cfg.Internet {
-		s.inet = internet.New(internet.Config{Delay: cfg.InternetDelay})
+	if b.pacer != nil {
+		s.pacer = b.pacer
+	} else {
+		s.pacer = rtp.NewPacer(cfg.Clock)
+		s.ownPacer = true
+	}
+	switch {
+	case b.inet != nil:
+		s.inet = b.inet
+	case cfg.Internet:
+		s.inet = internet.New(internet.Config{Delay: cfg.InternetDelay, Clock: cfg.Clock})
+		s.ownInet = true
+	}
+	if b.faultSeed != nil {
+		s.faults = NewFaultScenario(s, *b.faultSeed)
 	}
 	return s, nil
 }
+
+// Faults returns the scenario's deterministic fault harness, or nil unless
+// the scenario was built with WithFaultPlan.
+func (s *Scenario) Faults() *FaultScenario { return s.faults }
 
 // Network exposes the MANET medium (stats, topology control, mobility).
 func (s *Scenario) Network() *netem.Network { return s.net }
@@ -418,9 +571,14 @@ func (s *Scenario) Close() {
 	for _, p := range providers {
 		p.Close()
 	}
-	if s.inet != nil {
+	if s.faults != nil {
+		s.faults.Stop()
+	}
+	if s.inet != nil && s.ownInet {
 		s.inet.Close()
 	}
 	s.net.Close()
-	s.pacer.Close()
+	if s.ownPacer {
+		s.pacer.Close()
+	}
 }

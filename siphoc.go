@@ -87,6 +87,17 @@ type (
 	ProxyStats = core.ProxyStats
 	// GatewayStats counts Gateway Provider activity (tunnels, frames).
 	GatewayStats = core.GatewayStats
+	// TrunkStats counts inter-gateway trunk multiplexing activity.
+	TrunkStats = core.TrunkStats
+	// ProviderPool is the sharded provider tier of a federation.
+	ProviderPool = internet.ProviderPool
+	// PoolConfig sizes a sharded provider tier.
+	PoolConfig = internet.PoolConfig
+	// PoolStats aggregates provider counters across a pool's shards.
+	PoolStats = internet.PoolStats
+	// Resolver is one lookup backend in the proxy's routing policy; see
+	// core.ResolverChain and ProxyConfig.Resolvers for composing chains.
+	Resolver = core.Resolver
 	// ConnStats counts Connection Provider activity (attaches, frames).
 	ConnStats = core.ConnStats
 	// SLPStats counts MANET SLP agent activity (lookups, cache hits).
