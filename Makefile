@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover check bench bench-all fed faults fuzz experiments examples clean
+.PHONY: all build test race cover check bench bench-all fed profile faults fuzz experiments examples clean
 
 all: build test
 
@@ -35,12 +35,18 @@ check:
 
 # Hot-path benchmark snapshots, committed as JSON so regressions show up in
 # diffs. bench-all additionally runs the long E-series scenario benchmarks.
+# The ControlScale snapshot is gated: the fresh run is compared against the
+# committed BENCH_scale.json first (cmd/benchcmp fails on >25% regression of
+# convergence_ms or allocs/node/s), and only replaces it when it passes —
+# a failing run leaves BENCH_scale.json.new behind for inspection.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/netem/ | $(GO) run ./cmd/benchjson > BENCH_netem.json
 	$(GO) test -run '^$$' -bench 'SIP' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_sip.json
 	$(GO) test -run '^$$' -bench 'ObsOverhead' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_obs.json
 	$(GO) test -run '^$$' -bench 'VoiceFrame|PacketParse|MediaScale' -benchmem ./internal/rtp/ | $(GO) run ./cmd/benchjson > BENCH_rtp.json
-	$(GO) test -run '^$$' -bench 'ControlScale' -benchtime 1x -timeout 20m . | $(GO) run ./cmd/benchjson > BENCH_scale.json
+	$(GO) test -run '^$$' -bench 'ControlScale' -benchtime 1x -timeout 20m . | $(GO) run ./cmd/benchjson > BENCH_scale.json.new
+	$(GO) run ./cmd/benchcmp BENCH_scale.json BENCH_scale.json.new
+	mv BENCH_scale.json.new BENCH_scale.json
 	$(MAKE) fed
 
 # Federation scale snapshot: a 3-island × 2-gateway federation under a
@@ -57,6 +63,16 @@ fed:
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
+
+# CPU + heap profile of the control-plane scale study; prints the top-10
+# flat CPU and allocation sites (the summary lives in EXPERIMENTS.md,
+# "Control-plane scale — before/after" — refresh it from this output when
+# the core changes).
+profile:
+	$(GO) test -run '^$$' -bench 'ControlScale' -benchtime 1x -timeout 20m \
+		-cpuprofile cpu.pprof -memprofile mem.pprof -o siphoc.test .
+	$(GO) tool pprof -top -nodecount=10 siphoc.test cpu.pprof
+	$(GO) tool pprof -top -nodecount=10 -sample_index=alloc_space siphoc.test mem.pprof
 
 # The full fault matrix under the race detector (deterministic replay,
 # scenario recovery invariants, golden recovery traces), then the gateway

@@ -1,0 +1,105 @@
+// Command benchcmp diffs a fresh benchmark run against a committed
+// BENCH_*.json snapshot (both in cmd/benchjson format) and exits non-zero
+// when a guarded metric regresses beyond tolerance:
+//
+//	benchcmp BENCH_scale.json BENCH_scale.json.new
+//
+// Guarded metrics are convergence_ms and allocs/node/s, the two scale-study
+// numbers that creep when the control plane grows overhead; each may grow
+// at most 25% over the committed value. Benchmarks present only in the
+// fresh run (new grid sizes) or only in the snapshot (retired ones) are
+// reported and skipped, so adding a scale point never trips the gate.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Result mirrors cmd/benchjson's per-line object.
+type Result struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report mirrors cmd/benchjson's document.
+type Report struct {
+	Package    string   `json:"package,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// guarded lists the metrics the gate watches; missing metrics are skipped
+// so the tool works for snapshots that don't report them.
+var guarded = []string{"convergence_ms", "allocs/node/s"}
+
+// tolerance is the allowed growth factor per guarded metric.
+const tolerance = 1.25
+
+func load(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp <committed.json> <fresh.json>")
+		os.Exit(2)
+	}
+	committed, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	base := make(map[string]Result, len(committed.Benchmarks))
+	for _, b := range committed.Benchmarks {
+		base[b.Name] = b
+	}
+	seen := make(map[string]bool, len(fresh.Benchmarks))
+	failed := false
+	for _, nb := range fresh.Benchmarks {
+		seen[nb.Name] = true
+		ob, ok := base[nb.Name]
+		if !ok {
+			fmt.Printf("%s: new benchmark, no baseline — skipped\n", nb.Name)
+			continue
+		}
+		for _, m := range guarded {
+			ov, okOld := ob.Metrics[m]
+			nv, okNew := nb.Metrics[m]
+			if !okOld || !okNew || ov <= 0 {
+				continue
+			}
+			ratio := nv / ov
+			if ratio > tolerance {
+				failed = true
+				fmt.Printf("%s: %s regressed %.0f -> %.0f (%.2fx, limit %.2fx)\n",
+					nb.Name, m, ov, nv, ratio, tolerance)
+			} else {
+				fmt.Printf("%s: %s %.0f -> %.0f (%.2fx) ok\n", nb.Name, m, ov, nv, ratio)
+			}
+		}
+	}
+	for _, ob := range committed.Benchmarks {
+		if !seen[ob.Name] {
+			fmt.Printf("%s: missing from fresh run — skipped\n", ob.Name)
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchcmp: guarded metrics regressed beyond tolerance")
+		os.Exit(1)
+	}
+}

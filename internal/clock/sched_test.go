@@ -1,0 +1,174 @@
+package clock
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitCount polls until the counter reaches want or the (real-time) timeout
+// expires. Scheduler workers process fake-clock firings asynchronously, so
+// assertions after Advance must wait for the worker to catch up.
+func waitCount(t *testing.T, c *atomic.Int64, want int64, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Load() >= want {
+			if got := c.Load(); got != want {
+				t.Fatalf("%s: count %d, want %d", msg, got, want)
+			}
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	t.Fatalf("%s: count %d, want %d (timeout)", msg, c.Load(), want)
+}
+
+// settle gives the worker a moment to process anything outstanding, then
+// asserts the counter did NOT move past want.
+func settle(t *testing.T, c *atomic.Int64, want int64, msg string) {
+	t.Helper()
+	time.Sleep(20 * time.Millisecond)
+	if got := c.Load(); got != want {
+		t.Fatalf("%s: count %d, want %d", msg, got, want)
+	}
+}
+
+func TestSchedulerEveryFake(t *testing.T) {
+	clk := NewFake(time.Unix(0, 0))
+	s := NewScheduler(clk, 1)
+	defer s.Close()
+
+	var fired atomic.Int64
+	task := s.Every("node-a", 10*time.Millisecond, func(time.Time) { fired.Add(1) })
+
+	settle(t, &fired, 0, "before first interval")
+	for i := 1; i <= 3; i++ {
+		clk.Advance(10 * time.Millisecond)
+		waitCount(t, &fired, int64(i), "after advance")
+	}
+
+	task.Stop()
+	clk.Advance(50 * time.Millisecond)
+	settle(t, &fired, 3, "after Stop")
+}
+
+func TestSchedulerAfterFiresOnce(t *testing.T) {
+	clk := NewFake(time.Unix(0, 0))
+	s := NewScheduler(clk, 1)
+	defer s.Close()
+
+	var fired atomic.Int64
+	s.After("node-a", 5*time.Millisecond, func(time.Time) { fired.Add(1) })
+
+	clk.Advance(5 * time.Millisecond)
+	waitCount(t, &fired, 1, "one-shot fire")
+	clk.Advance(50 * time.Millisecond)
+	settle(t, &fired, 1, "one-shot must not re-fire")
+}
+
+func TestSchedulerStopBeforeDue(t *testing.T) {
+	clk := NewFake(time.Unix(0, 0))
+	s := NewScheduler(clk, 1)
+	defer s.Close()
+
+	var fired atomic.Int64
+	task := s.After("node-a", 5*time.Millisecond, func(time.Time) { fired.Add(1) })
+	task.Stop()
+	clk.Advance(50 * time.Millisecond)
+	settle(t, &fired, 0, "stopped task must not fire")
+}
+
+func TestSchedulerEqualDeadlineOrder(t *testing.T) {
+	clk := NewFake(time.Unix(0, 0))
+	s := NewScheduler(clk, 1)
+	defer s.Close()
+
+	var mu sync.Mutex
+	var order []int
+	var fired atomic.Int64
+	for i := 0; i < 3; i++ {
+		i := i
+		s.After("same-key", 5*time.Millisecond, func(time.Time) {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			fired.Add(1)
+		})
+	}
+	clk.Advance(5 * time.Millisecond)
+	waitCount(t, &fired, 3, "all three fire")
+	mu.Lock()
+	defer mu.Unlock()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("equal-deadline tasks fired out of registration order: %v", order)
+		}
+	}
+}
+
+func TestSchedulerShardClamp(t *testing.T) {
+	clk := NewFake(time.Unix(0, 0))
+	maxp := runtime.GOMAXPROCS(0)
+	for _, req := range []int{0, -1, 1, 4, 1024} {
+		s := NewScheduler(clk, req)
+		got := s.Shards()
+		if got < 1 || got > maxp {
+			t.Fatalf("NewScheduler(%d): shards %d outside [1, GOMAXPROCS=%d]", req, got, maxp)
+		}
+		if req >= 1 && req <= maxp && got != req {
+			t.Fatalf("NewScheduler(%d): shards %d, want %d", req, got, req)
+		}
+		if s.Goroutines() != got {
+			t.Fatalf("Goroutines() %d != Shards() %d", s.Goroutines(), got)
+		}
+		s.Close()
+	}
+}
+
+func TestSchedulerSameKeySameShard(t *testing.T) {
+	clk := NewFake(time.Unix(0, 0))
+	s := NewScheduler(clk, 0)
+	defer s.Close()
+	a := s.shardFor("node-17")
+	for i := 0; i < 8; i++ {
+		if s.shardFor("node-17") != a {
+			t.Fatal("shardFor is not stable for a fixed key")
+		}
+	}
+}
+
+func TestSchedulerSystemClock(t *testing.T) {
+	s := NewScheduler(New(), 2)
+	var fired atomic.Int64
+	s.Every("n", time.Millisecond, func(time.Time) { fired.Add(1) })
+	deadline := time.Now().Add(2 * time.Second)
+	for fired.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if fired.Load() < 3 {
+		t.Fatalf("recurring task fired %d times in 2s on the system clock", fired.Load())
+	}
+	s.Close()
+	after := fired.Load()
+	time.Sleep(10 * time.Millisecond)
+	if fired.Load() != after {
+		t.Fatal("task fired after Close")
+	}
+}
+
+func TestSchedulerPending(t *testing.T) {
+	clk := NewFake(time.Unix(0, 0))
+	s := NewScheduler(clk, 1)
+	defer s.Close()
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("fresh scheduler Pending = %d", got)
+	}
+	s.After("a", time.Hour, func(time.Time) {})
+	s.Every("b", time.Hour, func(time.Time) {})
+	if got := s.Pending(); got != 2 {
+		t.Fatalf("Pending = %d, want 2", got)
+	}
+}

@@ -59,6 +59,15 @@ type Host struct {
 	stop  chan struct{}
 	done  chan struct{}
 
+	// inline marks event-loop mode: frames are handled directly on the
+	// delivery shard's worker (no per-host dispatch goroutine, no inbox).
+	// Unicast (KindData) deliveries for one host all land on its own shard,
+	// so datagram/Conn handling stays serialized per host; broadcast control
+	// frames run on the sender's shard and rely on the protocol handlers'
+	// own locking, as they already did under concurrent dispatch.
+	inline     bool
+	closedFlag atomic.Bool
+
 	mu        sync.RWMutex
 	handlers  map[FrameKind]func(Frame)
 	rp        RouteProvider
@@ -88,7 +97,12 @@ func newHost(n *Network, id NodeID) *Host {
 		pending:  make(map[NodeID][]*Datagram),
 		nextPort: 32768,
 	}
-	go h.dispatch()
+	if n.cfg.EventLoop {
+		h.inline = true
+		close(h.done) // no dispatch goroutine to wait for
+	} else {
+		go h.dispatch()
+	}
 	return h
 }
 
@@ -152,8 +166,16 @@ func (h *Host) SetSink(fn func(*Datagram)) {
 }
 
 // enqueue is called by the medium to deliver a frame; it drops on overflow
-// like a saturated radio.
+// like a saturated radio. In event-loop mode the frame is handled right here
+// on the delivery shard's worker: overload shows up as deliveries running
+// late (the shard heap backing up) rather than as queue drops.
 func (h *Host) enqueue(f Frame) {
+	if h.inline {
+		if !h.closedFlag.Load() {
+			h.handleFrame(f)
+		}
+		return
+	}
 	select {
 	case h.inbox <- f:
 	case <-h.stop:
@@ -180,7 +202,9 @@ func (h *Host) handleFrame(f Frame) {
 		if err != nil {
 			return
 		}
-		h.routeDatagram(dg, false)
+		// In inline mode we are already on this host's delivery shard, so a
+		// local delivery may run directly without re-scheduling.
+		h.routeDatagramEx(dg, false, h.inline)
 		return
 	}
 	h.mu.RLock()
@@ -214,7 +238,22 @@ func (h *Host) SendDatagram(dg *Datagram) error {
 // routeDatagram delivers locally, forwards toward the next hop, or queues
 // pending route discovery. origin marks datagrams created on this host.
 func (h *Host) routeDatagram(dg *Datagram, origin bool) error {
+	return h.routeDatagramEx(dg, origin, false)
+}
+
+// routeDatagramEx is routeDatagram with the shard-affinity bit: onShard is
+// true when the caller is already running on this host's delivery shard. In
+// event-loop mode local deliveries from foreign goroutines (loopback
+// SendDatagram, gateway InjectDatagram) are bounced through the shard
+// scheduler at zero delay, which serializes them with medium deliveries and
+// breaks the reentrant nesting a phone talking to its own host's proxy would
+// otherwise build up.
+func (h *Host) routeDatagramEx(dg *Datagram, origin, onShard bool) error {
 	if dg.DstNode == h.id {
+		if h.inline && !onShard {
+			h.scheduleLocal(dg)
+			return nil
+		}
 		h.deliverLocal(dg)
 		return nil
 	}
@@ -306,6 +345,16 @@ func (h *Host) InjectDatagram(dg *Datagram) {
 	h.routeDatagram(dg, false)
 }
 
+// scheduleLocal hands a loopback datagram to this host's delivery shard with
+// an immediate deadline (event-loop mode only).
+func (h *Host) scheduleLocal(dg *Datagram) {
+	d := deliveryPool.Get().(*delivery)
+	d.due = h.net.cfg.Clock.Now()
+	d.dg = dg
+	d.dgHost = h
+	h.net.schedOf(h.id).schedule(d)
+}
+
 func (h *Host) deliverLocal(dg *Datagram) {
 	h.mu.RLock()
 	sink := h.sink
@@ -317,6 +366,12 @@ func (h *Host) deliverLocal(dg *Datagram) {
 	// trunk listener keeps receiving inter-gateway trunk frames locally.
 	if c != nil {
 		h.stats.received.Add(1)
+		if fn := c.handler.Load(); fn != nil {
+			c.handleMu.Lock()
+			(*fn)(dg)
+			c.handleMu.Unlock()
+			return
+		}
 		select {
 		case c.in <- dg:
 		default:
@@ -373,6 +428,7 @@ func (h *Host) Close() {
 		return
 	}
 	h.closed = true
+	h.closedFlag.Store(true)
 	conns := make([]*Conn, 0, len(h.ports))
 	for _, c := range h.ports {
 		conns = append(conns, c)
@@ -391,8 +447,31 @@ type Conn struct {
 	port uint16
 	in   chan *Datagram
 
+	// handler, when set via Handle, receives datagrams directly on the
+	// delivery path instead of through the in channel — the event-loop
+	// replacement for a per-component Recv goroutine. handleMu serializes
+	// invocations (a no-contention formality in event-loop mode, where one
+	// shard owns all of a host's deliveries).
+	handler  atomic.Pointer[func(*Datagram)]
+	handleMu sync.Mutex
+
 	closeOnce sync.Once
 	stop      chan struct{}
+}
+
+// Handle switches the connection to callback delivery: fn is invoked for
+// every arriving datagram, serialized per connection, and Recv/TryRecv stop
+// seeing traffic. Components use this in event-loop mode instead of spawning
+// a Recv loop goroutine. fn must not block; it may send. A datagram already
+// in flight when Close is called may still be delivered, so fn must tolerate
+// invocation after shutdown (the same contract component recv loops already
+// had). Pass nil to revert to channel delivery.
+func (c *Conn) Handle(fn func(*Datagram)) {
+	if fn == nil {
+		c.handler.Store(nil)
+		return
+	}
+	c.handler.Store(&fn)
 }
 
 // LocalPort returns the bound port number.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -50,6 +51,16 @@ type Config struct {
 	// Obs receives medium-level metrics (frame/byte/loss counters). Nil
 	// disables observability at zero cost on the send path.
 	Obs *obs.Observer
+	// EventLoop enables the sharded event-loop core: frames are handled
+	// inline on the delivery shard workers instead of per-host dispatch
+	// goroutines, and loopback datagrams ride the shard scheduler. Unicast
+	// traffic shards by destination and broadcasts by source, so every
+	// host's deliveries stay on one shard and per-host handling remains
+	// serialized. Steady-state goroutine cost: O(shards), not O(hosts).
+	EventLoop bool
+	// Shards is the delivery-shard count in EventLoop mode (default
+	// GOMAXPROCS, clamped to [1, GOMAXPROCS]). Ignored otherwise.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -129,7 +140,10 @@ type Network struct {
 	stats counters
 	tap   atomic.Pointer[func(Frame)]
 	udp   atomic.Pointer[udpUnderlay]
-	sched *scheduler
+	// scheds are the delivery schedulers. Legacy mode runs exactly one (the
+	// PR-1 single min-heap); EventLoop mode shards by node so the workers
+	// both deliver and, inline, execute the receivers' frame handling.
+	scheds []*scheduler
 
 	// Pre-resolved obs handles; all nil when cfg.Obs is nil, so the send
 	// hot path pays a single branch in disabled mode.
@@ -150,6 +164,16 @@ func orderedKey(a, b NodeID) linkKey {
 // NewNetwork creates an empty medium.
 func NewNetwork(cfg Config) *Network {
 	cfg = cfg.withDefaults()
+	nshards := 1
+	if cfg.EventLoop {
+		nshards = cfg.Shards
+		if maxp := runtime.GOMAXPROCS(0); nshards <= 0 || nshards > maxp {
+			nshards = maxp
+		}
+		if nshards < 1 {
+			nshards = 1
+		}
+	}
 	n := &Network{
 		cfg:          cfg,
 		rng:          rand.New(rand.NewSource(cfg.Seed)),
@@ -157,7 +181,10 @@ func NewNetwork(cfg Config) *Network {
 		positions:    make(map[NodeID]Position),
 		linkOverride: make(map[linkKey]bool),
 		adj:          make(map[NodeID]*neighborhood),
-		sched:        newScheduler(cfg.Clock),
+		scheds:       make([]*scheduler, nshards),
+	}
+	for i := range n.scheds {
+		n.scheds[i] = newScheduler(cfg.Clock)
 	}
 	n.lossBits.Store(math.Float64bits(cfg.LossRate))
 	if cfg.Obs.Enabled() {
@@ -170,6 +197,48 @@ func NewNetwork(cfg Config) *Network {
 
 // Clock returns the clock driving the medium.
 func (n *Network) Clock() clock.Clock { return n.cfg.Clock }
+
+// DeliveryShards returns the number of delivery scheduler goroutines (1 in
+// legacy mode). The goroutine regression test pins against this.
+func (n *Network) DeliveryShards() int { return len(n.scheds) }
+
+// schedOf returns the delivery shard owning node id: FNV-1a over the ID,
+// the same stable hash the clock scheduler and SLP shards use. All unicast
+// traffic *to* a host (KindData and with it every Conn/sink delivery) goes
+// through the host's own shard, which is what keeps application-level
+// datagram handling per-host serial in inline mode.
+func (n *Network) schedOf(id NodeID) *scheduler {
+	if len(n.scheds) == 1 {
+		return n.scheds[0]
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return n.scheds[h%uint64(len(n.scheds))]
+}
+
+// schedForFrame picks the shard for a frame transmission: unicast by
+// destination (per-host serialization), broadcast by source (the whole
+// fan-out stays one batched delivery object). Broadcast receivers therefore
+// handle control frames on the sender's shard, possibly concurrently with
+// their own shard — safe because every KindRouting/KindService handler is
+// internally locked, exactly as it had to be under per-host dispatch
+// goroutines.
+func (n *Network) schedForFrame(f Frame) *scheduler {
+	if len(n.scheds) == 1 {
+		return n.scheds[0]
+	}
+	if f.Dst != Broadcast {
+		return n.schedOf(f.Dst)
+	}
+	return n.schedOf(f.Src)
+}
 
 // AddHost creates a node at pos and attaches its stack to the medium.
 func (n *Network) AddHost(id NodeID, pos Position) (*Host, error) {
@@ -600,11 +669,13 @@ func (n *Network) send(f Frame) error {
 			d.frame = f
 			d.one = one
 			d.many = many
-			n.sched.schedule(d)
+			n.schedForFrame(f).schedule(d)
 		}
 	} else {
 		// Per-link delay overrides split the fan-out across deadlines;
-		// enqueue the whole batch under one heap lock acquisition.
+		// enqueue the whole batch under one heap lock acquisition. Sharded
+		// mode schedules each peeled receiver on its own host's shard (the
+		// quality-override path is off the scale-benchmark steady state).
 		batch := make([]*delivery, 0, 1+len(slow))
 		if one != nil || len(many) > 0 {
 			d := deliveryPool.Get().(*delivery)
@@ -614,14 +685,25 @@ func (n *Network) send(f Frame) error {
 			d.many = many
 			batch = append(batch, d)
 		}
-		for i, h := range slow {
-			d := deliveryPool.Get().(*delivery)
-			d.due = now.Add(delay + slowExtra[i])
-			d.frame = f
-			d.one = h
-			batch = append(batch, d)
+		if len(n.scheds) == 1 {
+			for i, h := range slow {
+				d := deliveryPool.Get().(*delivery)
+				d.due = now.Add(delay + slowExtra[i])
+				d.frame = f
+				d.one = h
+				batch = append(batch, d)
+			}
+			n.scheds[0].scheduleBatch(batch)
+		} else {
+			n.schedForFrame(f).scheduleBatch(batch)
+			for i, h := range slow {
+				d := deliveryPool.Get().(*delivery)
+				d.due = now.Add(delay + slowExtra[i])
+				d.frame = f
+				d.one = h
+				n.schedOf(h.ID()).schedule(d)
+			}
 		}
-		n.sched.scheduleBatch(batch)
 	}
 	if udp := n.udp.Load(); udp != nil {
 		udp.transmit(f)
@@ -657,7 +739,9 @@ func (n *Network) Close() {
 		hosts = append(hosts, h)
 	}
 	n.mu.Unlock()
-	n.sched.close()
+	for _, sc := range n.scheds {
+		sc.close()
+	}
 	if udp := n.udp.Load(); udp != nil {
 		udp.close()
 	}

@@ -19,9 +19,19 @@ type delivery struct {
 	frame Frame
 	one   *Host
 	many  []*Host
+	// dg/dgHost carry a zero-delay local (loopback) datagram in event-loop
+	// mode: routing it through the shard scheduler instead of invoking the
+	// receiver inline keeps per-host delivery serialized and prevents
+	// reentrant handler nesting when an application answers its own host.
+	dg     *Datagram
+	dgHost *Host
 }
 
 func (d *delivery) deliver() {
+	if d.dg != nil {
+		d.dgHost.deliverLocal(d.dg)
+		return
+	}
 	if d.one != nil {
 		d.one.enqueue(d.frame)
 		return

@@ -46,6 +46,12 @@ type Config struct {
 	Clock clock.Clock
 	// Obs records route-discovery spans and latency. Nil disables.
 	Obs *obs.Observer
+	// Sched, when set, runs the hello beacon and route-discovery retry
+	// timers on the shared sharded event loop instead of per-node
+	// goroutines. Timer cadence is identical; discoveries additionally
+	// complete as soon as the route installs (same as the goroutine's
+	// success-channel wakeup), via the discovery's onSuccess hook.
+	Sched *clock.Scheduler
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +118,13 @@ type seenKey struct {
 type discovery struct {
 	callbacks []func(bool)
 	success   chan struct{} // closed when a route appears
+	// finished (under Protocol.mu) makes completion idempotent in event-loop
+	// mode, where the success path and the retry-timeout chain race without
+	// a single goroutine serializing them.
+	finished bool
+	// onSuccess (under Protocol.mu) is the event-loop completion hook,
+	// invoked outside the lock right after success is closed.
+	onSuccess func()
 }
 
 // Protocol is an AODV instance bound to one host.
@@ -131,8 +144,9 @@ type Protocol struct {
 	stats     Stats
 	started   bool
 
-	stop chan struct{}
-	wg   sync.WaitGroup
+	stop  chan struct{}
+	wg    sync.WaitGroup
+	tasks []*clock.Task // event-loop timers when cfg.Sched is set
 
 	// Pre-resolved obs handles; nil when cfg.Obs is nil.
 	obs      *obs.Observer
@@ -185,8 +199,15 @@ func (p *Protocol) Start() error {
 	}
 	p.host.SetRouteProvider(p)
 	if p.cfg.EnableHello {
-		p.wg.Add(1)
-		go p.helloLoop()
+		if p.cfg.Sched != nil {
+			task := p.cfg.Sched.Every(string(p.host.ID()), p.cfg.HelloInterval, func(time.Time) { p.helloTick() })
+			p.mu.Lock()
+			p.tasks = append(p.tasks, task)
+			p.mu.Unlock()
+		} else {
+			p.wg.Add(1)
+			go p.helloLoop()
+		}
 	}
 	return nil
 }
@@ -201,9 +222,23 @@ func (p *Protocol) Stop() {
 	p.started = false
 	pending := p.pending
 	p.pending = make(map[netem.NodeID]*discovery)
+	tasks := p.tasks
+	p.tasks = nil
 	p.mu.Unlock()
+	for _, t := range tasks {
+		t.Stop()
+	}
 	close(p.stop)
 	p.wg.Wait()
+	if p.cfg.Sched != nil {
+		// Event-loop discoveries have no goroutine to observe p.stop;
+		// complete them here. finishDiscovery is idempotent, so a retry
+		// step that already fired (or fires late) is harmless.
+		for dst, d := range pending {
+			p.finishDiscovery(dst, d, false)
+		}
+		return
+	}
 	for _, d := range pending {
 		for _, cb := range d.callbacks {
 			cb(false)
@@ -254,6 +289,10 @@ func (p *Protocol) RequestRoute(dst netem.NodeID, done func(bool)) {
 	p.pending[dst] = d
 	p.mu.Unlock()
 
+	if p.cfg.Sched != nil {
+		p.discoverSched(dst, d)
+		return
+	}
 	p.wg.Add(1)
 	go p.discover(dst, d)
 }
@@ -315,8 +354,65 @@ func (p *Protocol) discover(dst netem.NodeID, d *discovery) {
 	p.finishDiscovery(dst, d, false)
 }
 
+// discoverSched runs the RREQ retry schedule as a chain of event-loop
+// timers instead of a dedicated goroutine. The chain is the sole owner of
+// the failure path; success is delivered by installRoute via d.onSuccess
+// the moment the route lands, exactly like the goroutine's success-channel
+// wakeup. finishDiscovery's idempotence arbitrates the race between the
+// two, and between a retry step and Stop.
+func (p *Protocol) discoverSched(dst netem.NodeID, d *discovery) {
+	span := p.obs.StartSpan("", obs.PhaseRouteDiscovery, string(p.host.ID()))
+	start := p.clk.Now()
+	plan := p.attemptPlan()
+	key := string(p.host.ID())
+	p.mu.Lock()
+	d.onSuccess = func() {
+		if span.Active() {
+			p.obsDelay.Observe(p.clk.Now().Sub(start))
+			span.End("aodv dst=" + string(dst) + " ok")
+		}
+		p.finishDiscovery(dst, d, true)
+	}
+	p.mu.Unlock()
+	var attempt func(i int)
+	attempt = func(i int) {
+		p.mu.Lock()
+		finished := d.finished
+		started := p.started
+		p.mu.Unlock()
+		if finished {
+			return
+		}
+		if !started {
+			span.End("aodv dst=" + string(dst) + " stopped")
+			p.finishDiscovery(dst, d, false)
+			return
+		}
+		select {
+		case <-d.success:
+			// installRoute closed the channel and will run (or has run)
+			// onSuccess; the chain simply ends.
+			return
+		default:
+		}
+		if i >= len(plan) {
+			span.End("aodv dst=" + string(dst) + " failed")
+			p.finishDiscovery(dst, d, false)
+			return
+		}
+		p.sendRREQ(dst, plan[i].ttl)
+		p.cfg.Sched.After(key, plan[i].timeout, func(time.Time) { attempt(i + 1) })
+	}
+	attempt(0)
+}
+
 func (p *Protocol) finishDiscovery(dst netem.NodeID, d *discovery, ok bool) {
 	p.mu.Lock()
+	if d.finished {
+		p.mu.Unlock()
+		return
+	}
+	d.finished = true
 	if p.pending[dst] == d {
 		delete(p.pending, dst)
 	}
@@ -552,6 +648,7 @@ func (p *Protocol) installRoute(dst, nextHop netem.NodeID, hops int, seq uint32)
 	})
 	p.mu.Lock()
 	d, ok := p.pending[dst]
+	var onSuccess func()
 	if ok {
 		select {
 		case <-d.success:
@@ -560,9 +657,13 @@ func (p *Protocol) installRoute(dst, nextHop netem.NodeID, hops int, seq uint32)
 		}
 		if ok {
 			close(d.success)
+			onSuccess = d.onSuccess
 		}
 	}
 	p.mu.Unlock()
+	if onSuccess != nil {
+		onSuccess()
+	}
 }
 
 func (p *Protocol) gcSeenLocked(now time.Time) {
@@ -587,13 +688,19 @@ func (p *Protocol) helloLoop() {
 			return
 		case <-timer.C():
 		}
-		p.mu.Lock()
-		seq := p.seq
-		p.stats.HelloSent++
-		p.mu.Unlock()
-		p.sendControl(netem.Broadcast, KindHello, (&Hello{Seq: seq}).Marshal())
-		p.expireNeighbors()
+		p.helloTick()
 	}
+}
+
+// helloTick is one hello-beacon round: broadcast a hello with the current
+// sequence number, then reap neighbours that have gone quiet.
+func (p *Protocol) helloTick() {
+	p.mu.Lock()
+	seq := p.seq
+	p.stats.HelloSent++
+	p.mu.Unlock()
+	p.sendControl(netem.Broadcast, KindHello, (&Hello{Seq: seq}).Marshal())
+	p.expireNeighbors()
 }
 
 // expireNeighbors detects broken links from missed hellos and emits RERRs

@@ -6,6 +6,7 @@
 package olsr
 
 import (
+	"container/heap"
 	"fmt"
 	"sort"
 	"sync"
@@ -39,6 +40,34 @@ type Config struct {
 	Clock clock.Clock
 	// Obs records route-wait spans and latency. Nil disables.
 	Obs *obs.Observer
+	// Sched, when set, runs every protocol timer (HELLO/TC emission, the
+	// recompute hold-down window, RequestRoute convergence polling) on the
+	// shared sharded event loop instead of per-node goroutines. Timer
+	// cadence is identical either way; only the goroutine cost changes
+	// (O(shards) for the whole network instead of 2+ per node).
+	Sched *clock.Scheduler
+	// Fisheye enables fisheye TC scoping (FSR-style graded refresh): TCs
+	// normally carry FisheyeNearTTL so only the near zone sees every
+	// refresh, and the full-MaxTTL flood is decimated to every
+	// FisheyeFarEvery-th emission. Each node offsets its full-flood rounds
+	// by a hash of its own ID, so the network's far floods spread evenly
+	// across rounds instead of bursting in lockstep — at 1024 nodes a
+	// synchronized far round is a quarter-million forwards in one beat.
+	// Far zones therefore learn of changes at the far cadence; that lag is
+	// the fisheye design point (paths correct themselves as packets
+	// approach the destination), and what buys the O(near zone) steady
+	// cost. With Fisheye on, the ANSN advances only on selector-set
+	// changes (as RFC 3626 specifies), which lets far nodes refresh tuple
+	// expiries from decimated floods without tearing down still-valid
+	// state.
+	Fisheye bool
+	// FisheyeNearTTL is the TC TTL for near-zone (decimated) emissions
+	// (default 8).
+	FisheyeNearTTL uint8
+	// FisheyeFarEvery sends every n-th TC at full MaxTTL (default 4).
+	// TopologyHold is floored at (2×FisheyeFarEvery+2)×TCInterval so
+	// far-zone tuples survive a missed full flood.
+	FisheyeFarEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -53,6 +82,22 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TopologyHold == 0 {
 		c.TopologyHold = 3 * c.TCInterval
+	}
+	if c.FisheyeNearTTL == 0 {
+		c.FisheyeNearTTL = 8
+	}
+	if c.FisheyeFarEvery <= 0 {
+		c.FisheyeFarEvery = 4
+	}
+	if c.Fisheye {
+		// Far-zone tuples are refreshed only every FisheyeFarEvery-th TC
+		// round; hold them for two such periods plus slack so a single
+		// late or lost far flood (timer slip under CPU saturation, a
+		// dropped relay) does not expire half the topology and collapse
+		// the route table network-wide.
+		if min := time.Duration(2*c.FisheyeFarEvery+2) * c.TCInterval; c.TopologyHold < min {
+			c.TopologyHold = min
+		}
 	}
 	if c.RouteWait == 0 {
 		c.RouteWait = 3 * c.TCInterval
@@ -98,11 +143,6 @@ type linkState struct {
 	sym       bool
 }
 
-type topoKey struct {
-	last netem.NodeID // advertising node
-	dest netem.NodeID // its MPR selector
-}
-
 type topoVal struct {
 	ansn    uint16
 	expires time.Time
@@ -118,6 +158,35 @@ type dupVal struct {
 	fwd bool // already retransmitted through the MPR backbone
 }
 
+// dupHardCap bounds the duplicate set: at 1024 nodes a single TC round puts
+// ~N entries here, so without a cap a long-running node grows it without
+// bound between the old opportunistic sweeps. Same bug class — and same
+// deadline-heap fix — as the SLP seenQ hard cap.
+const dupHardCap = 8192
+
+// dupQItem pairs a duplicate-set key with its expiry for lazy heap pruning.
+type dupQItem struct {
+	key     dupKey
+	expires time.Time
+}
+
+// dupHeap is a min-heap on expires. Keys are pushed exactly once (a dupKey
+// is inserted into the map exactly once), so each heap item maps to one map
+// entry and popping may delete unconditionally.
+type dupHeap []dupQItem
+
+func (h dupHeap) Len() int           { return len(h) }
+func (h dupHeap) Less(i, j int) bool { return h[i].expires.Before(h[j].expires) }
+func (h dupHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *dupHeap) Push(x any)        { *h = append(*h, x.(dupQItem)) }
+func (h *dupHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
 // Protocol is an OLSR instance bound to one host.
 type Protocol struct {
 	host *netem.Host
@@ -129,14 +198,27 @@ type Protocol struct {
 	twoHop    map[netem.NodeID]map[netem.NodeID]bool // sym neighbour -> its sym neighbours
 	mprs      map[netem.NodeID]bool                  // our chosen MPRs
 	selectors map[netem.NodeID]time.Time             // neighbours that chose us as MPR
-	topology  map[topoKey]topoVal
-	dups      map[dupKey]dupVal
-	seq       uint16
-	ansn      uint16
-	table     *routing.Table
-	pb        routing.PiggybackHandler
-	stats     Stats
-	started   bool
+	// topology holds TC-advertised edges indexed by advertising node
+	// ("last hop") then MPR selector, so the per-TC stale-ANSN purge
+	// touches only that origin's out-edges — a flat map keyed by
+	// (last,dest) made every TC arrival an O(total edges) sweep, which
+	// at 1024 nodes was the single largest CPU sink in the system.
+	topology map[netem.NodeID]map[netem.NodeID]topoVal
+	dups     map[dupKey]dupVal
+	dupQ     dupHeap // expiry order over dups, for lazy pruning
+	seq      uint16
+	ansn     uint16
+	// Fisheye state: tcCount decimates far floods, farPhase staggers this
+	// node's full-flood rounds against its peers', selHash/selInit detect
+	// selector-set changes (order-independent set hash) for ANSN advance.
+	tcCount  uint64
+	farPhase uint64
+	selHash  uint64
+	selInit  bool
+	table    *routing.Table
+	pb       routing.PiggybackHandler
+	stats    Stats
+	started  bool
 	// recomputeHold marks the coalescing hold-down window after a
 	// recompute; recomputeQueued marks arrivals during the window that
 	// still need one trailing recompute.
@@ -148,8 +230,9 @@ type Protocol struct {
 	// the first is that unchanged HELLO/TC arrivals never schedule at all).
 	stateHash uint64
 
-	stop chan struct{}
-	wg   sync.WaitGroup
+	stop  chan struct{}
+	wg    sync.WaitGroup
+	tasks []*clock.Task // event-loop timers when cfg.Sched is set
 
 	// Pre-resolved obs handles; nil when cfg.Obs is nil.
 	obs      *obs.Observer
@@ -169,11 +252,15 @@ func New(host *netem.Host, cfg Config) *Protocol {
 		twoHop:    make(map[netem.NodeID]map[netem.NodeID]bool),
 		mprs:      make(map[netem.NodeID]bool),
 		selectors: make(map[netem.NodeID]time.Time),
-		topology:  make(map[topoKey]topoVal),
+		topology:  make(map[netem.NodeID]map[netem.NodeID]topoVal),
 		dups:      make(map[dupKey]dupVal),
 		table:     routing.NewTable(),
 		stop:      make(chan struct{}),
 	}
+	// Spread this node's full-TTL fisheye rounds against its peers' by
+	// hashing its own ID: nodes brought up together would otherwise emit
+	// their far floods in lockstep every FisheyeFarEvery-th round.
+	p.farPhase = hashEdge(hashSel, host.ID(), "") % uint64(cfg.FisheyeFarEvery)
 	if cfg.Obs.Enabled() {
 		p.obs = cfg.Obs
 		p.obsDelay = cfg.Obs.Histogram("olsr.routewait.delay", nil)
@@ -204,6 +291,22 @@ func (p *Protocol) Start() error {
 		return err
 	}
 	p.host.SetRouteProvider(p)
+	if p.cfg.Sched != nil {
+		key := string(p.host.ID())
+		tasks := []*clock.Task{
+			p.cfg.Sched.Every(key, p.cfg.HelloInterval, func(time.Time) {
+				p.expire()
+				p.sendHello()
+			}),
+			p.cfg.Sched.Every(key, p.cfg.TCInterval, func(time.Time) {
+				p.sendTC()
+			}),
+		}
+		p.mu.Lock()
+		p.tasks = tasks
+		p.mu.Unlock()
+		return nil
+	}
 	p.wg.Add(2)
 	go p.helloLoop()
 	go p.tcLoop()
@@ -218,7 +321,12 @@ func (p *Protocol) Stop() {
 		return
 	}
 	p.started = false
+	tasks := p.tasks
+	p.tasks = nil
 	p.mu.Unlock()
+	for _, t := range tasks {
+		t.Stop()
+	}
 	close(p.stop)
 	p.wg.Wait()
 }
@@ -259,6 +367,10 @@ func (p *Protocol) RequestRoute(dst netem.NodeID, done func(bool)) {
 		done(false)
 		return
 	}
+	if p.cfg.Sched != nil {
+		p.requestRouteSched(dst, done)
+		return
+	}
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
@@ -294,6 +406,46 @@ func (p *Protocol) RequestRoute(dst netem.NodeID, done func(bool)) {
 			}
 		}
 	}()
+}
+
+// requestRouteSched is RequestRoute's convergence wait as a chain of
+// one-shot event-loop tasks: the same poll cadence as the legacy goroutine
+// (half a HELLO interval), with zero goroutine cost while waiting.
+func (p *Protocol) requestRouteSched(dst netem.NodeID, done func(bool)) {
+	span := p.obs.StartSpan("", obs.PhaseRouteDiscovery, string(p.host.ID()))
+	start := p.clk.Now()
+	deadline := start.Add(p.cfg.RouteWait)
+	poll := p.cfg.HelloInterval / 2
+	if poll <= 0 {
+		poll = 10 * time.Millisecond
+	}
+	key := string(p.host.ID())
+	var step func(time.Time)
+	step = func(time.Time) {
+		if _, ok := p.NextHop(dst); ok {
+			if span.Active() {
+				p.obsDelay.Observe(p.clk.Now().Sub(start))
+				span.End("olsr dst=" + string(dst) + " ok")
+			}
+			done(true)
+			return
+		}
+		p.mu.Lock()
+		started := p.started
+		p.mu.Unlock()
+		if !started {
+			span.End("olsr dst=" + string(dst) + " stopped")
+			done(false)
+			return
+		}
+		if p.clk.Now().After(deadline) {
+			span.End("olsr dst=" + string(dst) + " timeout")
+			done(false)
+			return
+		}
+		p.cfg.Sched.After(key, poll, step)
+	}
+	p.cfg.Sched.After(key, poll, step)
 }
 
 // MPRs returns the currently selected multipoint relays (diagnostics).
@@ -449,17 +601,26 @@ func (p *Protocol) onTC(from netem.NodeID, m *TC) {
 	}
 	if !dup {
 		dv.at = now
+		// Dup entries only need to outlive the flood's flight time (plus
+		// queueing slack under load), not the topology hold: holding them
+		// for TopologyHold made the set scale with hold×N and blow the
+		// hard cap at 1024 nodes, and evicting *live* entries turns
+		// re-arriving copies into fresh re-forwards — a flood multiplier
+		// exactly when the network is busiest. Two TC intervals cover any
+		// copy still in flight by the time its seq is superseded.
+		heap.Push(&p.dupQ, dupQItem{key: key, expires: now.Add(2 * p.cfg.TCInterval)})
 	}
 	if doFwd {
 		dv.fwd = true
 	}
 	p.dups[key] = dv
-	if len(p.dups) > 8192 {
-		for k, v := range p.dups {
-			if now.Sub(v.at) > p.cfg.TopologyHold {
-				delete(p.dups, k)
-			}
-		}
+	// Lazy pruning off the deadline heap: drop entries past their hold time,
+	// and under the hard cap keep evicting the soonest-to-expire so a
+	// 1024-node TC storm cannot grow the set without bound. O(evicted log n)
+	// instead of the old full-map sweep.
+	for len(p.dupQ) > 0 && (now.After(p.dupQ[0].expires) || len(p.dups) > dupHardCap) {
+		it := heap.Pop(&p.dupQ).(dupQItem)
+		delete(p.dups, it.key)
 	}
 	// Install/refresh the advertised tuples first, then purge whatever the
 	// new ANSN no longer advertises. Only an edge appearing or vanishing
@@ -467,9 +628,13 @@ func (p *Protocol) onTC(from netem.NodeID, m *TC) {
 	// selector set merely refreshes expiries and schedules nothing.
 	changed := false
 	if !dup {
+		tm := p.topology[m.Orig]
+		if tm == nil {
+			tm = make(map[netem.NodeID]topoVal, len(m.Selectors))
+			p.topology[m.Orig] = tm
+		}
 		for _, sel := range m.Selectors {
-			k := topoKey{last: m.Orig, dest: sel}
-			if cur, ok := p.topology[k]; !ok || !ansnOlder(m.ANSN, cur.ansn) {
+			if cur, ok := tm[sel]; !ok || !ansnOlder(m.ANSN, cur.ansn) {
 				// A refresh of a tuple that already time-expired is a
 				// real change: rebuilds between expiry and this refresh
 				// excluded the edge, so reviving it must dirty the route
@@ -477,14 +642,17 @@ func (p *Protocol) onTC(from netem.NodeID, m *TC) {
 				if !ok || now.After(cur.expires) {
 					changed = true
 				}
-				p.topology[k] = topoVal{ansn: m.ANSN, expires: now.Add(p.cfg.TopologyHold)}
+				tm[sel] = topoVal{ansn: m.ANSN, expires: now.Add(p.cfg.TopologyHold)}
 			}
 		}
-		for k, v := range p.topology {
-			if k.last == m.Orig && ansnOlder(v.ansn, m.ANSN) {
-				delete(p.topology, k)
+		for dest, v := range tm {
+			if ansnOlder(v.ansn, m.ANSN) {
+				delete(tm, dest)
 				changed = true
 			}
+		}
+		if len(tm) == 0 {
+			delete(p.topology, m.Orig)
 		}
 	}
 	p.mu.Unlock()
@@ -562,11 +730,36 @@ func (p *Protocol) sendTC() {
 		return // only MPRs advertise topology
 	}
 	p.seq++
-	p.ansn++
-	m := &TC{Orig: p.host.ID(), Seq: p.seq, ANSN: p.ansn, TTL: p.cfg.MaxTTL}
+	m := &TC{Orig: p.host.ID(), Seq: p.seq, TTL: p.cfg.MaxTTL}
 	for sel := range p.selectors {
 		m.Selectors = append(m.Selectors, sel)
 	}
+	if p.cfg.Fisheye {
+		// ANSN advances only when the advertised set actually changes (the
+		// RFC 3626 rule). Receivers then refresh expiries from decimated
+		// near-zone floods at the same ANSN. Changes are NOT boosted to
+		// full TTL: an earlier design flooded MaxTTL for two rounds after
+		// every selector change, and at 1024 nodes bring-up churn re-armed
+		// that boost network-wide — a self-amplifying forward storm (load
+		// delays HELLOs, links flap, every flap re-arms full floods). Far
+		// zones instead pick up changes at the staggered far cadence.
+		var h uint64
+		for sel := range p.selectors {
+			h += hashEdge(hashSel, sel, "")
+		}
+		if !p.selInit || h != p.selHash {
+			p.selInit = true
+			p.selHash = h
+			p.ansn++
+		}
+		p.tcCount++
+		if p.tcCount%uint64(p.cfg.FisheyeFarEvery) != p.farPhase && p.cfg.FisheyeNearTTL < p.cfg.MaxTTL {
+			m.TTL = p.cfg.FisheyeNearTTL
+		}
+	} else {
+		p.ansn++
+	}
+	m.ANSN = p.ansn
 	p.stats.TCSent++
 	p.mu.Unlock()
 	p.sendControl(KindTC, m.Marshal())
@@ -589,10 +782,15 @@ func (p *Protocol) expire() {
 			delete(p.selectors, nb)
 		}
 	}
-	for k, v := range p.topology {
-		if now.After(v.expires) {
-			delete(p.topology, k)
-			changed = true
+	for orig, tm := range p.topology {
+		for dest, v := range tm {
+			if now.After(v.expires) {
+				delete(tm, dest)
+				changed = true
+			}
+		}
+		if len(tm) == 0 {
+			delete(p.topology, orig)
 		}
 	}
 	p.mu.Unlock()
@@ -620,6 +818,28 @@ func (p *Protocol) scheduleRecompute() {
 		return
 	}
 	p.recomputeHold = true
+	if p.cfg.Sched != nil {
+		p.mu.Unlock()
+		p.recompute()
+		key := string(p.host.ID())
+		window := p.cfg.HelloInterval / 2
+		var tick func(time.Time)
+		tick = func(time.Time) {
+			p.mu.Lock()
+			queued := p.recomputeQueued && p.started
+			p.recomputeQueued = false
+			if !queued {
+				p.recomputeHold = false
+				p.mu.Unlock()
+				return
+			}
+			p.mu.Unlock()
+			p.recompute()
+			p.cfg.Sched.After(key, window, tick)
+		}
+		p.cfg.Sched.After(key, window, tick)
+		return
+	}
 	p.wg.Add(1)
 	p.mu.Unlock()
 	p.recompute()
@@ -676,6 +896,7 @@ const (
 	hashLink byte = 1 // symmetric 1-hop link
 	hashTwo  byte = 2 // 2-hop edge (neighbour -> its neighbour)
 	hashTopo byte = 3 // TC-advertised topology edge
+	hashSel  byte = 4 // MPR selector (fisheye set-change detection)
 )
 
 // inputHashLocked digests everything the MPR selection and BFS read: the
@@ -694,11 +915,13 @@ func (p *Protocol) inputHashLocked(now time.Time) uint64 {
 			h += hashEdge(hashTwo, nb, two)
 		}
 	}
-	for k, v := range p.topology {
-		if now.After(v.expires) {
-			continue
+	for orig, tm := range p.topology {
+		for dest, v := range tm {
+			if now.After(v.expires) {
+				continue
+			}
+			h += hashEdge(hashTopo, orig, dest)
 		}
-		h += hashEdge(hashTopo, k.last, k.dest)
 	}
 	return h
 }
@@ -793,12 +1016,14 @@ func (p *Protocol) recomputeImpl(force bool) {
 	// Adjacency from TC tuples: last -> dest (treated as bidirectional,
 	// since a TC edge reflects a symmetric MPR-selector link).
 	adj := make(map[netem.NodeID][]netem.NodeID)
-	for k, v := range p.topology {
-		if now.After(v.expires) {
-			continue
+	for orig, tm := range p.topology {
+		for dest, v := range tm {
+			if now.After(v.expires) {
+				continue
+			}
+			adj[orig] = append(adj[orig], dest)
+			adj[dest] = append(adj[dest], orig)
 		}
-		adj[k.last] = append(adj[k.last], k.dest)
-		adj[k.dest] = append(adj[k.dest], k.last)
 	}
 	// Also 2-hop sets give edges nb -> two.
 	for nb, set := range p.twoHop {

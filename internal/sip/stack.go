@@ -24,6 +24,11 @@ type Config struct {
 	// Obs records per-leg INVITE spans and transaction counters. Nil
 	// disables observability; the message path then pays one branch.
 	Obs *obs.Observer
+	// Sched, when set, delivers datagrams via a conn callback and runs the
+	// retransmission, linger and expiry timers as event-loop tasks instead
+	// of one goroutine per transaction plus a receive goroutine per stack.
+	// TU request handlers still get their own goroutine (they may block).
+	Sched *clock.Scheduler
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +97,10 @@ func NewStack(conn *netem.Conn, cfg Config) *Stack {
 		s.obsTimeouts = cfg.Obs.Counter("sip.tx.timeouts")
 		s.obsInvites = cfg.Obs.Counter("sip.tx.invites")
 	}
+	if cfg.Sched != nil {
+		s.conn.Handle(func(dg *netem.Datagram) { s.dispatch(dg) })
+		return s
+	}
 	s.wg.Add(1)
 	go s.recvLoop()
 	return s
@@ -124,10 +133,29 @@ func (s *Stack) Close() {
 		return
 	}
 	s.closed = true
+	var txs []*ClientTx
+	if s.cfg.Sched != nil {
+		// Event-loop client transactions have no goroutine watching s.stop;
+		// terminate them here so Await callers unblock (terminate is
+		// idempotent, so a late timer step racing this is harmless).
+		txs = make([]*ClientTx, 0, len(s.clientTxs))
+		for _, tx := range s.clientTxs {
+			txs = append(txs, tx)
+		}
+	}
 	s.mu.Unlock()
 	close(s.stop)
 	s.conn.Close()
+	for _, tx := range txs {
+		tx.terminate()
+	}
 	s.wg.Wait()
+}
+
+func (s *Stack) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }
 
 // NewBranch returns a fresh RFC 3261 branch token, unique across nodes.
@@ -243,16 +271,20 @@ func (s *Stack) recvLoop() {
 		if !ok {
 			return
 		}
-		m, err := Parse(dg.Data)
-		if err != nil {
-			continue // malformed datagrams are dropped, as a UA would
-		}
-		src := Addr{Node: dg.SrcNode, Port: dg.SrcPort}
-		if m.IsResponse() {
-			s.dispatchResponse(m, src)
-		} else {
-			s.dispatchRequest(m, src)
-		}
+		s.dispatch(dg)
+	}
+}
+
+func (s *Stack) dispatch(dg *netem.Datagram) {
+	m, err := Parse(dg.Data)
+	if err != nil {
+		return // malformed datagrams are dropped, as a UA would
+	}
+	src := Addr{Node: dg.SrcNode, Port: dg.SrcPort}
+	if m.IsResponse() {
+		s.dispatchResponse(m, src)
+	} else {
+		s.dispatchRequest(m, src)
 	}
 }
 

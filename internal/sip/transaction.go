@@ -105,8 +105,73 @@ func (tx *ClientTx) start() {
 		tx.span = s.obs.StartSpan(tx.req.CallID, obs.PhaseSIPLeg,
 			string(s.self.Node)+"->"+string(tx.dst.Node))
 	}
+	if s.cfg.Sched != nil {
+		tx.startSched()
+		return
+	}
 	s.wg.Add(1)
 	go tx.run()
+}
+
+// startSched transmits the request and arms the retransmission schedule as
+// a chain of event-loop timer steps — the run() loop unrolled, one step per
+// timer fire, with the loop state carried in the closure. Steps for one
+// node share a shard key, so the chain is serialized with every other SIP
+// timer on this node.
+func (tx *ClientTx) startSched() {
+	s := tx.stack
+	raw := tx.req.Marshal()
+	_ = s.conn.WriteTo(raw, tx.dst.Node, tx.dst.Port)
+
+	key := string(s.self.Node)
+	interval := s.cfg.T1
+	deadline := s.clk.Now().Add(64 * s.cfg.T1) // Timer B / F
+	proceeding := false
+	var step func(time.Time)
+	step = func(time.Time) {
+		if s.isClosed() {
+			tx.terminate()
+			return
+		}
+		select {
+		case <-tx.done:
+			return
+		default:
+		}
+		tx.mu.Lock()
+		final, lastProv := tx.finalSent, tx.lastProv
+		tx.mu.Unlock()
+		if final {
+			return
+		}
+		if tx.req.Method == MethodInvite && !lastProv.IsZero() {
+			// Same Proceeding handling as run(): re-arm Timer B from the
+			// latest provisional but keep retransmitting (see run()).
+			proceeding = true
+			if d := lastProv.Add(256 * s.cfg.T1); d.After(deadline) {
+				deadline = d
+			}
+		}
+		if !s.clk.Now().Before(deadline) {
+			s.obsTimeouts.Inc()
+			tx.endSpan("timeout")
+			resp := NewResponse(tx.req, StatusRequestTimeout, localTimeoutReason)
+			tx.deliver(resp)
+			tx.terminate()
+			return
+		}
+		_ = s.conn.WriteTo(raw, tx.dst.Node, tx.dst.Port)
+		s.obsRetrans.Inc()
+		tx.mu.Lock()
+		tx.retrans++
+		tx.mu.Unlock()
+		interval *= 2
+		if (tx.req.Method != MethodInvite || proceeding) && interval > s.cfg.T2 {
+			interval = s.cfg.T2
+		}
+		s.cfg.Sched.After(key, interval, step)
+	}
+	s.cfg.Sched.After(key, interval, step)
 }
 
 // endSpan closes the leg span with the outcome and retransmit count. Callers
@@ -212,6 +277,10 @@ func (tx *ClientTx) onResponse(m *Message) {
 	// Linger briefly (Timer D/K) so retransmitted finals are absorbed,
 	// then terminate.
 	s := tx.stack
+	if s.cfg.Sched != nil {
+		s.cfg.Sched.After(string(s.self.Node), 4*s.cfg.T1, func(time.Time) { tx.terminate() })
+		return
+	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -353,6 +422,26 @@ func (tx *ServerTx) onRequest(m *Message) {
 // retrying a dead route, instead of spawning a duplicate routing attempt.
 func (tx *ServerTx) scheduleExpiry() {
 	s := tx.stack
+	if s.cfg.Sched != nil {
+		key := string(s.self.Node)
+		var step func(time.Time)
+		step = func(time.Time) {
+			tx.mu.Lock()
+			done := tx.lastResp != nil || tx.ackOnly
+			tx.mu.Unlock()
+			if !done && !s.isClosed() {
+				// Proceeding: no expiry while the TU still owes a final.
+				s.cfg.Sched.After(key, 64*s.cfg.T1, step)
+				return
+			}
+			tx.mu.Lock()
+			tx.finished = true
+			tx.mu.Unlock()
+			s.removeServerTx(tx.key)
+		}
+		s.cfg.Sched.After(key, 64*s.cfg.T1, step)
+		return
+	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()

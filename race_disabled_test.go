@@ -1,0 +1,5 @@
+//go:build !race
+
+package siphoc_test
+
+const raceEnabled = false

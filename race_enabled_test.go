@@ -1,0 +1,8 @@
+//go:build race
+
+package siphoc_test
+
+// raceEnabled reports whether this binary was built with -race. The race
+// detector multiplies CPU cost several-fold, which matters to tests whose
+// assertions depend on the machine keeping a real-time protocol cadence.
+const raceEnabled = true

@@ -29,23 +29,57 @@ func controlScaleOLSR(nodes int) olsr.Config {
 	if hello < 40*time.Millisecond {
 		hello = 40 * time.Millisecond
 	}
+	// A 20×20 grid has a 38-hop diameter and a 32×32 one 62; the default
+	// MaxTTL 32 would truncate corner-to-corner TC flooding.
+	ttl := uint8(64)
+	if nodes > 20*20 {
+		ttl = 96
+	}
+	// Fisheye scoping scaled to the grid: a full-TTL flood costs O(N)
+	// forwards, so the sustainable far rate shrinks as the grid grows.
+	// Every 4th round at near-TTL 8 is fine to 400 nodes; at 1024 the far
+	// floods are stretched to every 8th round and the near zone shrinks to
+	// TTL 4 — worst-case convergence is one far period (the per-node phase
+	// stagger spreads the floods evenly across rounds), and the near-zone
+	// cut funds that cadence inside one core's forwarding budget. (Every
+	// 6th round was tried and is worse: the extra full floods sit past the
+	// core's saturation edge, and the backlog they build delays convergence
+	// more than the faster far cadence gains.)
+	far, near := 4, uint8(8)
+	// NeighborHold defaults to 3×HELLO: a node may miss two beats before
+	// its links drop. During 1024-node bring-up the flood backlog delays
+	// HELLO timers by more than that, and once links expire the network
+	// melts down (selectors empty, TC emission stops, every reformation
+	// triggers a recompute that deepens the backlog). Five beats of slack
+	// rides out the transient; link-death detection slows accordingly,
+	// which a static scale study never notices.
+	hold := time.Duration(0) // 0 = default 3×HELLO
+	if nodes > 20*20 {
+		far, near = 8, 4
+		hold = 5 * hello
+	}
 	return olsr.Config{
-		HelloInterval: hello,
-		TCInterval:    hello * 5 / 2,
-		// A 20×20 grid has a 38-hop diameter; the default MaxTTL 32
-		// would truncate corner-to-corner TC flooding.
-		MaxTTL:    64,
-		RouteWait: 2 * time.Minute,
+		HelloInterval:   hello,
+		TCInterval:      hello * 5 / 2,
+		NeighborHold:    hold,
+		MaxTTL:          ttl,
+		RouteWait:       2 * time.Minute,
+		Fisheye:         true,
+		FisheyeNearTTL:  near,
+		FisheyeFarEvery: far,
 	}
 }
 
+// controlScaleScenario builds the scale-study deployment on the event-loop
+// core: the goroutine-per-timer core dies of scheduler overload near 20×20
+// (see EXPERIMENTS.md), so the scale study runs on the sharded scheduler.
 func controlScaleScenario(side int) (*siphoc.Scenario, error) {
 	cfg := controlScaleOLSR(side * side)
-	return siphoc.NewScenario(siphoc.ScenarioConfig{
-		Routing:         siphoc.RoutingOLSR,
-		OLSR:            &cfg,
-		NoObservability: true,
-	})
+	return siphoc.NewScenarioWith(
+		siphoc.WithOLSR(&cfg),
+		siphoc.WithoutObservability(),
+		siphoc.WithEventLoop(),
+	)
 }
 
 // waitNextHop polls until the protocol has a route to dst.
@@ -70,7 +104,7 @@ func sumRecomputes(nodes []*siphoc.Node) int64 {
 }
 
 func BenchmarkControlScale(b *testing.B) {
-	sides := []int{5, 10, 15, 20}
+	sides := []int{5, 10, 15, 20, 32}
 	if testing.Short() {
 		sides = []int{5, 10}
 	}
@@ -102,10 +136,10 @@ func runControlScalePoint(b *testing.B, side int) {
 	first := nodes[0].Routing().(*olsr.Protocol)
 	last := nodes[len(nodes)-1].Routing().(*olsr.Protocol)
 	t1 := time.Now()
-	if err := waitNextHop(first, nodes[len(nodes)-1].ID(), 2*time.Minute); err != nil {
+	if err := waitNextHop(first, nodes[len(nodes)-1].ID(), 4*time.Minute); err != nil {
 		b.Fatal(err)
 	}
-	if err := waitNextHop(last, nodes[0].ID(), 2*time.Minute); err != nil {
+	if err := waitNextHop(last, nodes[0].ID(), 4*time.Minute); err != nil {
 		b.Fatal(err)
 	}
 	convergence := time.Since(t1)
@@ -133,23 +167,35 @@ func runControlScalePoint(b *testing.B, side int) {
 	b.ReportMetric(allocs/n/window.Seconds(), "allocs/node/s")
 }
 
-// TestControlScaleSmoke is the `make check` scale gate: a 10×10 OLSR grid
-// must bring up in parallel, converge corner to corner, and hold the
-// incremental-recompute bound — steady-state rebuilds stay O(topology
-// changes), not O(control messages). Timing leaves headroom for -race.
+// TestControlScaleSmoke is the `make check` scale gate, now at the size
+// that killed the goroutine core: a 32×32 (1024-node) OLSR grid on the
+// event-loop core must bring up in parallel, converge corner to corner,
+// keep the post-bring-up goroutine count O(shards) — not O(N) — and hold
+// the incremental-recompute bound (steady-state rebuilds stay O(topology
+// changes), not O(control messages)).
+//
+// Under -short or -race the grid shrinks to the pre-event-loop gate size
+// (10×10 at the seed's relaxed cadence): the race detector multiplies CPU
+// cost several-fold, and a 1024-node control plane saturates a small
+// machine already without it — timers would slip past hold times and the
+// links would genuinely flap, failing the test for reasons that are about
+// the host, not the code. The small variant still runs the identical
+// event-loop core and assertions.
 func TestControlScaleSmoke(t *testing.T) {
-	const side = 10
-	cfg := olsr.Config{
-		HelloInterval: 500 * time.Millisecond,
-		TCInterval:    1250 * time.Millisecond,
-		MaxTTL:        64,
-		RouteWait:     time.Minute,
+	side := 32
+	cfg := controlScaleOLSR(side * side)
+	if testing.Short() || raceEnabled {
+		side = 10
+		cfg = controlScaleOLSR(side * side)
+		cfg.HelloInterval = 500 * time.Millisecond
+		cfg.TCInterval = 1250 * time.Millisecond
 	}
-	sc, err := siphoc.NewScenario(siphoc.ScenarioConfig{
-		Routing:         siphoc.RoutingOLSR,
-		OLSR:            &cfg,
-		NoObservability: true,
-	})
+	baseline := runtime.NumGoroutine()
+	sc, err := siphoc.NewScenarioWith(
+		siphoc.WithOLSR(&cfg),
+		siphoc.WithoutObservability(),
+		siphoc.WithEventLoop(),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,20 +204,31 @@ func TestControlScaleSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+
+	// The event-loop resource claim: 1024 nodes must not cost 1024×k
+	// goroutines. The budget covers the delivery shards, the scheduler
+	// workers and a little transient slack — with the goroutine core this
+	// number would be ~7000.
+	if g := runtime.NumGoroutine(); g > baseline+64 {
+		t.Errorf("post-bring-up goroutines = %d (baseline %d) for %d nodes; want O(shards)",
+			g, baseline, len(nodes))
+	}
+
 	first := nodes[0].Routing().(*olsr.Protocol)
 	last := nodes[len(nodes)-1].Routing().(*olsr.Protocol)
-	if err := waitNextHop(first, nodes[len(nodes)-1].ID(), time.Minute); err != nil {
+	if err := waitNextHop(first, nodes[len(nodes)-1].ID(), 4*time.Minute); err != nil {
 		t.Fatal(err)
 	}
-	if err := waitNextHop(last, nodes[0].ID(), time.Minute); err != nil {
+	if err := waitNextHop(last, nodes[0].ID(), 4*time.Minute); err != nil {
 		t.Fatal(err)
 	}
 
 	// Drain trailing rebuilds, then require near-zero recomputes over a
 	// measurement window on the static converged grid.
-	time.Sleep(2 * cfg.TCInterval)
+	tc := cfg.TCInterval
+	time.Sleep(2 * tc)
 	before := sumRecomputes(nodes)
-	window := 2 * cfg.TCInterval
+	window := 2 * tc
 	time.Sleep(window)
 	rec := sumRecomputes(nodes) - before
 	if max := int64(3 * len(nodes)); rec > max {
