@@ -28,22 +28,28 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race -run 'TestCallTrace|TestMetrics|TestDialContext' .
 	$(GO) test -race -short -run 'TestControlScaleSmoke' .
-	$(GO) test -race -run 'TestFederationSmoke' -count 1 .
+	$(GO) test -race -run 'TestFederationSmoke|TestFederationOverlayResolution' -count 1 .
 	$(GO) test -race -run 'Fault|Partition|LinkQuality|Gateway|Proxy' ./internal/netem/ ./internal/core/ ./internal/slp/
+	$(GO) test -race -short ./internal/overlay/
+	$(GO) test -race -run 'TestIncrementalFullEquivalenceGolden' -count 1 ./internal/routing/olsr/
 	$(GO) test -race ./internal/rtp/
 	$(GO) test -race ./...
 
 # Hot-path benchmark snapshots, committed as JSON so regressions show up in
 # diffs. bench-all additionally runs the long E-series scenario benchmarks.
-# The ControlScale snapshot is gated: the fresh run is compared against the
-# committed BENCH_scale.json first (cmd/benchcmp fails on >25% regression of
-# convergence_ms or allocs/node/s), and only replaces it when it passes —
-# a failing run leaves BENCH_scale.json.new behind for inspection.
+# The ControlScale and OverlayLookup snapshots are gated: the fresh run is
+# compared against the committed BENCH_scale.json / BENCH_dht.json first
+# (cmd/benchcmp fails on >25% regression of convergence_ms, allocs/node/s,
+# lookup_ms or allocs/op), and only replaces it when it passes — a failing
+# run leaves the .new file behind for inspection.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/netem/ | $(GO) run ./cmd/benchjson > BENCH_netem.json
 	$(GO) test -run '^$$' -bench 'SIP' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_sip.json
 	$(GO) test -run '^$$' -bench 'ObsOverhead' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_obs.json
 	$(GO) test -run '^$$' -bench 'VoiceFrame|PacketParse|MediaScale' -benchmem ./internal/rtp/ | $(GO) run ./cmd/benchjson > BENCH_rtp.json
+	$(GO) test -run '^$$' -bench 'OverlayLookup' -benchmem -timeout 10m ./internal/overlay/ | $(GO) run ./cmd/benchjson > BENCH_dht.json.new
+	$(GO) run ./cmd/benchcmp BENCH_dht.json BENCH_dht.json.new
+	mv BENCH_dht.json.new BENCH_dht.json
 	$(GO) test -run '^$$' -bench 'ControlScale' -benchtime 1x -timeout 20m . | $(GO) run ./cmd/benchjson > BENCH_scale.json.new
 	$(GO) run ./cmd/benchcmp BENCH_scale.json BENCH_scale.json.new
 	mv BENCH_scale.json.new BENCH_scale.json

@@ -177,6 +177,25 @@ func (g *CallGenerator) Run() (CallGenReport, error) {
 			clk.Sleep(5 * time.Millisecond)
 		}
 	}
+	// With the overlay registrar up, callers resolve through the DHT before
+	// the provider tier — and its publish path (REGISTER → island client →
+	// STOREs on the K closest nodes) is just as asynchronous, so the same
+	// pre-dial barrier applies: every callee must be resolvable in the
+	// overlay or the earliest calls fall through to DNS and skew the
+	// backend-comparison counters.
+	if oc := fed.OverlayClient(0); oc != nil {
+		for _, p := range pairs {
+			for {
+				if _, err := oc.Lookup(p.calleeAOR, time.Second); err == nil {
+					break
+				}
+				if clk.Now().After(bindDeadline) {
+					return CallGenReport{}, fmt.Errorf("siphoc: callgen: %s never reached the overlay registrar", p.calleeAOR)
+				}
+				clk.Sleep(5 * time.Millisecond)
+			}
+		}
+	}
 
 	// Callee side: answer (auto-answer is on) and stream voice back so the
 	// caller's receive path has media to score. callersDone closes once every

@@ -4,11 +4,13 @@
 //
 //	benchcmp BENCH_scale.json BENCH_scale.json.new
 //
-// Guarded metrics are convergence_ms and allocs/node/s, the two scale-study
-// numbers that creep when the control plane grows overhead; each may grow
-// at most 25% over the committed value. Benchmarks present only in the
-// fresh run (new grid sizes) or only in the snapshot (retired ones) are
-// reported and skipped, so adding a scale point never trips the gate.
+// Guarded metrics are convergence_ms and allocs/node/s (the two scale-study
+// numbers that creep when the control plane grows overhead) plus lookup_ms
+// and allocs/op (the overlay registrar's lookup latency and allocation bill,
+// gated against BENCH_dht.json); each may grow at most 25% over the
+// committed value. Benchmarks present only in the fresh run (new grid sizes)
+// or only in the snapshot (retired ones) are reported and skipped, so adding
+// a scale point never trips the gate.
 package main
 
 import (
@@ -32,7 +34,7 @@ type Report struct {
 
 // guarded lists the metrics the gate watches; missing metrics are skipped
 // so the tool works for snapshots that don't report them.
-var guarded = []string{"convergence_ms", "allocs/node/s"}
+var guarded = []string{"convergence_ms", "allocs/node/s", "lookup_ms", "allocs/op"}
 
 // tolerance is the allowed growth factor per guarded metric.
 const tolerance = 1.25

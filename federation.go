@@ -6,7 +6,9 @@ import (
 
 	"siphoc/internal/clock"
 	"siphoc/internal/internet"
+	"siphoc/internal/netem"
 	"siphoc/internal/obs"
+	"siphoc/internal/overlay"
 	"siphoc/internal/rtp"
 	"siphoc/internal/sip"
 )
@@ -38,6 +40,15 @@ type FederationConfig struct {
 	// streams crossing the same gateway pair collapse into one paced
 	// inter-gateway flow.
 	Trunk bool
+	// Overlay stands up a P2P overlay registrar (the Kademlia DHT of
+	// internal/overlay) on the simulated Internet and hands every island a
+	// passive overlay client: proxies publish their registrations into the
+	// DHT and resolve cross-island AORs through it *before* the DNS/provider
+	// fallback — federation without a central registrar tier.
+	Overlay bool
+	// OverlayNodes is the number of full DHT nodes in the overlay tier
+	// (default 8; only used when Overlay is set).
+	OverlayNodes int
 	// Routing selects each island's MANET routing protocol (default OLSR —
 	// proactive routing keeps SLP caches warm across the island).
 	Routing RoutingKind
@@ -72,6 +83,9 @@ func (c FederationConfig) withDefaults() FederationConfig {
 	if c.Routing == 0 {
 		c.Routing = RoutingOLSR
 	}
+	if c.Overlay && c.OverlayNodes == 0 {
+		c.OverlayNodes = 8
+	}
 	if c.TimeScale == 0 {
 		c.TimeScale = 1
 	}
@@ -100,6 +114,13 @@ type FederationScenario struct {
 	pacer    *rtp.Pacer
 	pool     *internet.ProviderPool
 	islands  []*Scenario
+
+	// P2P overlay registrar tier (nil unless cfg.Overlay): full DHT nodes
+	// on Internet hosts, one passive client per island, and the shared
+	// timer core they all run on.
+	osched   *clock.Scheduler
+	dht      []*overlay.Node
+	oclients []*overlay.Node
 }
 
 // NewFederationScenario brings up the shared infrastructure, the provider
@@ -132,6 +153,13 @@ func NewFederationScenario(cfg FederationConfig) (*FederationScenario, error) {
 	}
 	f.pool = pool
 
+	if cfg.Overlay {
+		if err := f.startOverlay(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+
 	for i := range cfg.Islands {
 		sc, err := f.addIsland(i)
 		if err != nil {
@@ -149,12 +177,67 @@ func (f *FederationScenario) IslandPrefix(i int) string {
 	return fmt.Sprintf("10.%d.0", i+1)
 }
 
+// startOverlay brings up the DHT registrar tier on the simulated Internet:
+// OverlayNodes full nodes bootstrapped off the first one, plus one passive
+// client per island (it publishes and resolves for the island's proxies but
+// stores nothing and stays out of the other nodes' k-buckets). The whole
+// tier's timers run on one shared scheduler, so its goroutine count is
+// independent of the overlay size.
+func (f *FederationScenario) startOverlay() error {
+	f.osched = clock.NewScheduler(f.cfg.Clock, 1)
+	var boot []netem.NodeID
+	newNode := func(id netem.NodeID, passive bool) (*overlay.Node, error) {
+		host, err := f.inet.AddHost(id)
+		if err != nil {
+			return nil, fmt.Errorf("siphoc: overlay host %s: %w", id, err)
+		}
+		n, err := overlay.New(overlay.Config{
+			Host:      host,
+			Sched:     f.osched,
+			Clock:     f.cfg.Clock,
+			Bootstrap: boot,
+			Passive:   passive,
+			Obs:       f.observer,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("siphoc: overlay node %s: %w", id, err)
+		}
+		if err := n.Start(); err != nil {
+			return nil, fmt.Errorf("siphoc: overlay node %s: %w", id, err)
+		}
+		return n, nil
+	}
+	for k := range f.cfg.OverlayNodes {
+		id := netem.NodeID(fmt.Sprintf("dht-%d", k+1))
+		n, err := newNode(id, false)
+		if err != nil {
+			return err
+		}
+		f.dht = append(f.dht, n)
+		if k == 0 {
+			boot = []netem.NodeID{id}
+		}
+	}
+	for i := range f.cfg.Islands {
+		c, err := newNode(netem.NodeID(fmt.Sprintf("dht-client-%d", i+1)), true)
+		if err != nil {
+			return err
+		}
+		f.oclients = append(f.oclients, c)
+	}
+	return nil
+}
+
 func (f *FederationScenario) addIsland(i int) (*Scenario, error) {
 	prefix := f.IslandPrefix(i)
-	sc, err := NewScenarioWith(
+	opts := []ScenarioOption{
 		WithFederation(f, prefix),
 		WithRoutingKind(f.cfg.Routing),
-	)
+	}
+	if f.oclients != nil {
+		opts = append(opts, WithOverlayDirectory(f.oclients[i]))
+	}
+	sc, err := NewScenarioWith(opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -188,6 +271,19 @@ func (f *FederationScenario) Island(i int) *Scenario { return f.islands[i] }
 
 // Pool returns the sharded provider tier.
 func (f *FederationScenario) Pool() *internet.ProviderPool { return f.pool }
+
+// Overlay returns the full DHT nodes of the P2P overlay registrar tier, or
+// nil unless the federation was built with FederationConfig.Overlay.
+func (f *FederationScenario) Overlay() []*overlay.Node { return f.dht }
+
+// OverlayClient returns island i's passive overlay client (the directory its
+// proxies publish into and resolve through), or nil without Overlay.
+func (f *FederationScenario) OverlayClient(i int) *overlay.Node {
+	if i < 0 || i >= len(f.oclients) {
+		return nil
+	}
+	return f.oclients[i]
+}
 
 // Internet returns the shared simulated Internet.
 func (f *FederationScenario) Internet() *internet.Internet { return f.inet }
@@ -256,10 +352,20 @@ func (f *FederationScenario) TrunkStats() TrunkStats {
 }
 
 // Close tears the whole federation down: islands first (they skip the
-// shared pieces), then the pool, the Internet and the pacer.
+// shared pieces), then the overlay tier, the pool, the Internet and the
+// pacer.
 func (f *FederationScenario) Close() {
 	for _, sc := range f.islands {
 		sc.Close()
+	}
+	for _, c := range f.oclients {
+		c.Close()
+	}
+	for _, n := range f.dht {
+		n.Close()
+	}
+	if f.osched != nil {
+		f.osched.Close()
 	}
 	if f.pool != nil {
 		f.pool.Close()

@@ -55,6 +55,61 @@ func TestFederationSmoke(t *testing.T) {
 	}
 }
 
+// TestFederationOverlayResolution brings up a federation with the P2P
+// overlay registrar enabled and checks that cross-island calls resolve
+// through the DHT — not the central provider tier: every island proxy
+// publishes its registrations into the overlay, and the callers' resolution
+// counters show overlay hits with zero typed resolver failures.
+func TestFederationOverlayResolution(t *testing.T) {
+	fed, err := siphoc.NewFederationScenario(siphoc.FederationConfig{
+		Islands:           2,
+		GatewaysPerIsland: 1,
+		ClientsPerIsland:  2,
+		Overlay:           true,
+		OverlayNodes:      6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fed.Close()
+	if len(fed.Overlay()) != 6 {
+		t.Fatalf("overlay tier has %d nodes, want 6", len(fed.Overlay()))
+	}
+	if err := fed.WaitAttached(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	gen := fed.NewCallGenerator(siphoc.CallGenConfig{
+		Concurrent:  4,
+		VoiceFrames: 10,
+	})
+	rep, err := gen.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Established != rep.Attempted || rep.Failed != 0 {
+		t.Fatalf("calls: %d/%d established, %d failed", rep.Established, rep.Attempted, rep.Failed)
+	}
+
+	var overlayRouted, dnsRouted, resolverErrors int64
+	for _, sc := range fed.Islands() {
+		for _, ps := range sc.Metrics().Proxies {
+			overlayRouted += ps.OverlayRouted
+			dnsRouted += ps.InternetRouted
+			resolverErrors += ps.ResolverErrors
+		}
+	}
+	if overlayRouted == 0 {
+		t.Fatal("no call resolved through the overlay registrar")
+	}
+	if dnsRouted != 0 {
+		t.Fatalf("%d calls fell through to the DNS/provider tier with the overlay up", dnsRouted)
+	}
+	if resolverErrors != 0 {
+		t.Fatalf("%d typed resolver failures during a clean run", resolverErrors)
+	}
+}
+
 // TestFederationShardRebalance drives the registrar tier through a shard
 // crash and restart from the scenario level, scheduled on an island's fault
 // plan: bindings homed on the dead shard re-home on re-registration, and the

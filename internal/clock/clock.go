@@ -141,6 +141,25 @@ func (f *Fake) PendingTimers() int {
 	return len(f.timers)
 }
 
+// NextDeadline returns the earliest pending timer deadline, or ok=false when
+// no timer is armed. Deterministic test drivers use it to advance straight to
+// the next event instant instead of sweeping fixed steps through idle time.
+func (f *Fake) NextDeadline() (time.Time, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var best time.Time
+	ok := false
+	for _, t := range f.timers {
+		if t.fired {
+			continue
+		}
+		if !ok || t.when.Before(best) {
+			best, ok = t.when, true
+		}
+	}
+	return best, ok
+}
+
 // earliestLocked returns the pending timer with the earliest deadline not
 // after limit, or nil.
 func (f *Fake) earliestLocked(limit time.Time) *fakeTimer {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -57,6 +58,14 @@ type ProxyConfig struct {
 	// from the exported constructors, e.g. to make SLP cache-only in a
 	// federation or to splice a DHT overlay registrar between SLP and DNS.
 	Resolvers []Resolver
+	// Overlay plugs a P2P overlay registrar (DHT) into the proxy: the
+	// default chain gains an overlay hop between SLP and DNS, and local
+	// registrations are published into the overlay alongside their SLP
+	// adverts. Nil disables.
+	Overlay OverlayDirectory
+	// OverlayTimeout bounds a blocking overlay lookup during call routing
+	// (default 2s).
+	OverlayTimeout time.Duration
 	// Clock is the time source (default the system clock).
 	Clock clock.Clock
 	// Obs records resolution spans and routing counters; it is also
@@ -87,6 +96,9 @@ func (c ProxyConfig) withDefaults() ProxyConfig {
 	if c.ResolveBackoff == 0 {
 		c.ResolveBackoff = 100 * time.Millisecond
 	}
+	if c.OverlayTimeout == 0 {
+		c.OverlayTimeout = 2 * time.Second
+	}
 	if c.DNS == nil {
 		c.DNS = func(domain string) sip.Addr {
 			return sip.Addr{Node: netem.NodeID(domain), Port: sip.DefaultPort}
@@ -107,10 +119,12 @@ type ProxyStats struct {
 	RequestsRouted   int64
 	LocalDeliveries  int64 // resolved to a locally registered UA
 	SLPResolutions   int64 // resolved via MANET SLP
+	OverlayRouted    int64 // resolved via the P2P overlay registrar
 	InternetRouted   int64 // resolved to an Internet provider
 	EndpointRouted   int64 // explicit host:port Request-URIs
 	RouteFollowed    int64 // in-dialog requests following their Route set
 	Unresolved       int64 // answered 404/480
+	ResolverErrors   int64 // typed backend failures (e.g. overlay timeout)
 	SLPEvictions     int64 // stale SLP results evicted after silent next hops
 	SLPReresolutions int64 // INVITE retries sent to a freshly resolved hop
 	UpstreamRegOK    int64
@@ -124,10 +138,12 @@ type proxyCounters struct {
 	requestsRouted   atomic.Int64
 	localDeliveries  atomic.Int64
 	slpResolutions   atomic.Int64
+	overlayRouted    atomic.Int64
 	internetRouted   atomic.Int64
 	endpointRouted   atomic.Int64
 	routeFollowed    atomic.Int64
 	unresolved       atomic.Int64
+	resolverErrors   atomic.Int64
 	slpEvictions     atomic.Int64
 	slpReresolutions atomic.Int64
 	upstreamRegOK    atomic.Int64
@@ -140,10 +156,12 @@ func (c *proxyCounters) snapshot() ProxyStats {
 		RequestsRouted:   c.requestsRouted.Load(),
 		LocalDeliveries:  c.localDeliveries.Load(),
 		SLPResolutions:   c.slpResolutions.Load(),
+		OverlayRouted:    c.overlayRouted.Load(),
 		InternetRouted:   c.internetRouted.Load(),
 		EndpointRouted:   c.endpointRouted.Load(),
 		RouteFollowed:    c.routeFollowed.Load(),
 		Unresolved:       c.unresolved.Load(),
+		ResolverErrors:   c.resolverErrors.Load(),
 		SLPEvictions:     c.slpEvictions.Load(),
 		SLPReresolutions: c.slpReresolutions.Load(),
 		UpstreamRegOK:    c.upstreamRegOK.Load(),
@@ -217,7 +235,7 @@ func NewProxy(host *netem.Host, agent ServiceDirectory, connp *ConnectionProvide
 // local registrar first, then MANET SLP, then — when attached — the Internet
 // provider. Custom chains usually start from this and splice backends in.
 func (p *Proxy) DefaultResolvers() ResolverChain {
-	return ResolverChain{
+	chain := ResolverChain{
 		NewRegistrarResolver(p),
 		NewSLPResolver(p.agent, SLPResolverConfig{
 			Timeout:         p.cfg.SLPTimeout,
@@ -225,8 +243,14 @@ func (p *Proxy) DefaultResolvers() ResolverChain {
 			CacheOnly:       p.cfg.SLPCacheOnly,
 			Self:            p.Addr(),
 		}),
-		NewDNSResolver(p.cfg.DNS),
 	}
+	if p.cfg.Overlay != nil {
+		chain = append(chain, NewOverlayResolver(p.cfg.Overlay, OverlayResolverConfig{
+			Timeout: p.cfg.OverlayTimeout,
+			Self:    p.Addr(),
+		}))
+	}
+	return append(chain, NewDNSResolver(p.cfg.DNS))
 }
 
 // Resolvers returns the active resolver chain.
@@ -351,6 +375,9 @@ func (p *Proxy) handleRegister(tx *sip.ServerTx) {
 
 	if ttl == 0 {
 		p.agent.Deregister(SIPServiceType, aor)
+		if p.cfg.Overlay != nil {
+			p.cfg.Overlay.Unpublish(aor)
+		}
 	} else {
 		// Advertise our own SIP endpoint as the responsible contact
 		// address for this user.
@@ -359,6 +386,12 @@ func (p *Proxy) handleRegister(tx *sip.ServerTx) {
 			Key:  aor,
 			URL:  slp.ServiceURL(SIPServiceType, p.Addr().String()),
 		})
+		if p.cfg.Overlay != nil {
+			// Mirror the binding into the P2P overlay registrar so peers in
+			// other islands resolve this user without a provider tier. The
+			// overlay re-publishes on its own cadence until Unpublish.
+			p.cfg.Overlay.Publish(aor, p.Addr().String())
+		}
 	}
 	resp := sip.NewResponse(req, sip.StatusOK, "")
 	resp.Contact = []*sip.NameAddr{req.Contact[0].Clone()}
@@ -392,8 +425,15 @@ func (p *Proxy) resolve(req *sip.Message) (sip.Addr, string, int) {
 		AOR:      uri.AddressOfRecord(),
 		Attached: p.connp != nil && p.connp.Attached(),
 	}
-	if addr, kind, ok := p.resolvers.Resolve(q); ok {
+	addr, kind, err := p.resolvers.ResolveE(q)
+	if err == nil {
 		return addr, kind, 0
+	}
+	if !errors.Is(err, ErrResolverMiss) {
+		// A typed backend failure (overlay timeout, closed node): the
+		// target may well exist, we just could not reach the backend.
+		p.stats.resolverErrors.Add(1)
+		return sip.Addr{}, "", sip.StatusTemporarilyUnavail
 	}
 	return sip.Addr{}, "", sip.StatusNotFound
 }
@@ -405,6 +445,8 @@ func (p *Proxy) recordResolution(kind string) {
 		p.stats.localDeliveries.Add(1)
 	case "slp":
 		p.stats.slpResolutions.Add(1)
+	case "overlay":
+		p.stats.overlayRouted.Add(1)
 	case "internet":
 		p.stats.internetRouted.Add(1)
 	case "endpoint":

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"time"
 
 	"siphoc/internal/netem"
+	"siphoc/internal/overlay"
 	"siphoc/internal/sip"
 	"siphoc/internal/slp"
 )
@@ -61,18 +63,52 @@ type Resolver interface {
 	Resolve(q ResolveQuery) (sip.Addr, bool)
 }
 
+// ErrResolverMiss is the sentinel a typed resolver returns to mean "no
+// answer here, try the next backend". Any other error from a TypedResolver
+// stops the chain walk and propagates — a DHT lookup that timed out mid-churn
+// is an outage to report, not a silent fall-through to a wrong answer.
+var ErrResolverMiss = errors.New("core: resolver miss")
+
+// TypedResolver is the optional typed-error surface of a Resolver. ResolveE
+// distinguishes a clean miss (ErrResolverMiss) from a backend failure; the
+// chain passes failures through to the caller unchanged.
+type TypedResolver interface {
+	Resolver
+	ResolveE(q ResolveQuery) (sip.Addr, error)
+}
+
 // ResolverChain tries each resolver in order; the first match wins.
 type ResolverChain []Resolver
 
 // Resolve walks the chain and returns the winning resolver's answer and
-// kind. The walk itself is allocation-free.
+// kind. The walk itself is allocation-free. Typed-resolver failures degrade
+// to a miss here; callers that care use ResolveE.
 func (c ResolverChain) Resolve(q ResolveQuery) (sip.Addr, string, bool) {
+	addr, kind, err := c.ResolveE(q)
+	return addr, kind, err == nil
+}
+
+// ResolveE walks the chain with typed errors: a resolver's ErrResolverMiss
+// (or plain ok=false) moves on to the next backend, any other error aborts
+// the walk and is returned with the failing resolver's kind. An exhausted
+// chain returns ErrResolverMiss.
+func (c ResolverChain) ResolveE(q ResolveQuery) (sip.Addr, string, error) {
 	for _, r := range c {
+		if tr, ok := r.(TypedResolver); ok {
+			addr, err := tr.ResolveE(q)
+			if err == nil {
+				return addr, r.Kind(), nil
+			}
+			if errors.Is(err, ErrResolverMiss) {
+				continue
+			}
+			return sip.Addr{}, r.Kind(), err
+		}
 		if addr, ok := r.Resolve(q); ok {
-			return addr, r.Kind(), true
+			return addr, r.Kind(), nil
 		}
 	}
-	return sip.Addr{}, "", false
+	return sip.Addr{}, "", ErrResolverMiss
 }
 
 // registrarResolver answers from the proxy's own registrar bindings (the
@@ -174,4 +210,74 @@ func (r dnsResolver) Resolve(q ResolveQuery) (sip.Addr, bool) {
 		return sip.Addr{}, false
 	}
 	return r.dns(q.URI.Host), true
+}
+
+// OverlayDirectory is the lookup/publish surface the proxy needs from a P2P
+// overlay registrar. *overlay.Node implements it; a passive overlay client
+// (Config.Passive) is the usual proxy-side deployment — it queries and
+// publishes without serving storage itself.
+type OverlayDirectory interface {
+	// Lookup resolves an AOR to its current contact ("host:port"), blocking
+	// up to timeout. A converged negative answer is overlay.ErrNotFound;
+	// anything else (overlay.ErrTimeout, overlay.ErrClosed) is a backend
+	// failure.
+	Lookup(aor string, timeout time.Duration) (string, error)
+	// Publish announces (or refreshes) an AOR -> contact binding.
+	Publish(aor, contact string)
+	// Unpublish withdraws a binding.
+	Unpublish(aor string)
+}
+
+var _ OverlayDirectory = (*overlay.Node)(nil)
+
+// OverlayResolverConfig tunes an overlay-backed resolver.
+type OverlayResolverConfig struct {
+	// Timeout bounds the blocking DHT lookup (default 2s).
+	Timeout time.Duration
+	// Self is the owning proxy's own address; overlay answers pointing back
+	// at it are ignored (we *are* that proxy).
+	Self sip.Addr
+}
+
+type overlayResolver struct {
+	dir OverlayDirectory
+	cfg OverlayResolverConfig
+}
+
+// NewOverlayResolver resolves AORs through a P2P overlay registrar (the DHT).
+// It slots between SLP and DNS in the default chain: the MANET answers
+// first-hand bindings, the overlay answers federated peers without a central
+// provider tier, and DNS remains the fallback for true Internet domains.
+func NewOverlayResolver(dir OverlayDirectory, cfg OverlayResolverConfig) Resolver {
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	return overlayResolver{dir: dir, cfg: cfg}
+}
+
+func (overlayResolver) Kind() string { return "overlay" }
+
+func (r overlayResolver) Resolve(q ResolveQuery) (sip.Addr, bool) {
+	addr, err := r.ResolveE(q)
+	return addr, err == nil
+}
+
+func (r overlayResolver) ResolveE(q ResolveQuery) (sip.Addr, error) {
+	if !q.Attached {
+		// The overlay lives on the Internet side of the gateway; a detached
+		// node cannot reach it.
+		return sip.Addr{}, ErrResolverMiss
+	}
+	contact, err := r.dir.Lookup(q.AOR, r.cfg.Timeout)
+	if err != nil {
+		if errors.Is(err, overlay.ErrNotFound) {
+			return sip.Addr{}, ErrResolverMiss
+		}
+		return sip.Addr{}, err
+	}
+	addr, err := sip.ParseAddr(contact)
+	if err != nil || addr == r.cfg.Self {
+		return sip.Addr{}, ErrResolverMiss
+	}
+	return addr, nil
 }

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 	"time"
 
 	"siphoc/internal/netem"
+	"siphoc/internal/overlay"
 	"siphoc/internal/sip"
 	"siphoc/internal/slp"
 )
@@ -154,6 +156,141 @@ func TestDNSResolverGating(t *testing.T) {
 	}
 	if addr, ok := r.Resolve(query("alice@voicehoc.ch", true)); !ok || addr.Node != "voicehoc.ch" {
 		t.Fatalf("DNS resolve = %v %v", addr, ok)
+	}
+}
+
+// stubOverlay is a canned OverlayDirectory: fixed bindings, optional forced
+// error, and a lookup counter proving when the DHT was (not) consulted.
+type stubOverlay struct {
+	bindings map[string]string
+	err      error // returned for every lookup when set
+	lookups  int
+}
+
+func (s *stubOverlay) Lookup(aor string, timeout time.Duration) (string, error) {
+	s.lookups++
+	if s.err != nil {
+		return "", s.err
+	}
+	if c, ok := s.bindings[aor]; ok {
+		return c, nil
+	}
+	return "", overlay.ErrNotFound
+}
+
+func (s *stubOverlay) Publish(aor, contact string) {}
+func (s *stubOverlay) Unpublish(aor string)        {}
+
+// overlayChain builds the paper-policy tail under test: SLP (cache-only),
+// then overlay, then DNS — the registrar hop is irrelevant here.
+func overlayChain(dir *stubDirectory, ov *stubOverlay) ResolverChain {
+	return ResolverChain{
+		NewSLPResolver(dir, SLPResolverConfig{CacheOnly: true}),
+		NewOverlayResolver(ov, OverlayResolverConfig{Timeout: time.Second}),
+		NewDNSResolver(func(domain string) sip.Addr {
+			return sip.Addr{Node: netem.NodeID(domain), Port: sip.DefaultPort}
+		}),
+	}
+}
+
+// TestResolverChainOverlayOrdering pins the overlay hop's position in the
+// chain: consulted only after an SLP miss, and beating DNS when it answers.
+func TestResolverChainOverlayOrdering(t *testing.T) {
+	cases := []struct {
+		name        string
+		aor         string
+		attached    bool
+		wantKind    string
+		wantNode    netem.NodeID
+		wantMiss    bool
+		wantLookups int
+	}{
+		{
+			// SLP answers first; the overlay must not even be consulted.
+			name: "slp hit shadows overlay", aor: "alice@voicehoc.ch", attached: true,
+			wantKind: "slp", wantNode: "10.0.0.1", wantLookups: 0,
+		},
+		{
+			// SLP misses, overlay answers, DNS never sees the query even
+			// though the domain is DNS-routable.
+			name: "overlay hit beats dns", aor: "bob@voicehoc.ch", attached: true,
+			wantKind: "overlay", wantNode: "10.2.0.9", wantLookups: 1,
+		},
+		{
+			// Nobody has the AOR: overlay was consulted, DNS wins as the
+			// Internet fallback.
+			name: "overlay miss falls to dns", aor: "carol@voicehoc.ch", attached: true,
+			wantKind: "internet", wantNode: "voicehoc.ch", wantLookups: 1,
+		},
+		{
+			// Detached node: the overlay lives across the gateway, so the
+			// hop is skipped without a lookup, and DNS is gated off too.
+			name: "detached skips overlay", aor: "bob@voicehoc.ch", attached: false,
+			wantMiss: true, wantLookups: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := &stubDirectory{cached: cachedSIP("alice@voicehoc.ch", "10.0.0.1:5060")}
+			ov := &stubOverlay{bindings: map[string]string{"bob@voicehoc.ch": "10.2.0.9:5060"}}
+			chain := overlayChain(dir, ov)
+
+			addr, kind, ok := chain.Resolve(query(tc.aor, tc.attached))
+			if tc.wantMiss {
+				if ok {
+					t.Fatalf("resolve = %v %q, want miss", addr, kind)
+				}
+			} else if !ok || kind != tc.wantKind || addr.Node != tc.wantNode {
+				t.Fatalf("resolve = %v %q %v, want %q via %q",
+					addr, kind, ok, tc.wantNode, tc.wantKind)
+			}
+			if ov.lookups != tc.wantLookups {
+				t.Fatalf("overlay lookups = %d, want %d", ov.lookups, tc.wantLookups)
+			}
+		})
+	}
+}
+
+// TestResolverChainTypedErrors pins the typed-error contract: a converged
+// overlay miss (ErrNotFound) falls through to DNS, while a backend failure
+// (timeout, closed) aborts the walk and surfaces unchanged to the caller —
+// a DHT outage must not silently masquerade as "user does not exist".
+func TestResolverChainTypedErrors(t *testing.T) {
+	dir := &stubDirectory{}
+
+	for _, backendErr := range []error{overlay.ErrTimeout, overlay.ErrClosed} {
+		ov := &stubOverlay{err: backendErr}
+		_, kind, err := overlayChain(dir, ov).ResolveE(query("dave@voicehoc.ch", true))
+		if !errors.Is(err, backendErr) {
+			t.Fatalf("ResolveE error = %v, want passthrough of %v", err, backendErr)
+		}
+		if kind != "overlay" {
+			t.Fatalf("failing kind = %q, want overlay", kind)
+		}
+	}
+
+	// ErrNotFound is a clean miss: the walk continues and DNS answers.
+	ov := &stubOverlay{}
+	addr, kind, err := overlayChain(dir, ov).ResolveE(query("dave@voicehoc.ch", true))
+	if err != nil || kind != "internet" || addr.Node != "voicehoc.ch" {
+		t.Fatalf("ResolveE after miss = %v %q %v, want DNS answer", addr, kind, err)
+	}
+
+	// An exhausted chain reports ErrResolverMiss, not a backend failure.
+	if _, _, err := overlayChain(dir, ov).ResolveE(query("dave@manet", false)); !errors.Is(err, ErrResolverMiss) {
+		t.Fatalf("exhausted chain error = %v, want ErrResolverMiss", err)
+	}
+}
+
+// TestOverlayResolverSelfRejection: overlay answers pointing back at the
+// resolving proxy are a miss (we are that proxy; looping would 482).
+func TestOverlayResolverSelfRejection(t *testing.T) {
+	ov := &stubOverlay{bindings: map[string]string{"erin@voicehoc.ch": "10.1.0.4:5060"}}
+	r := NewOverlayResolver(ov, OverlayResolverConfig{
+		Self: sip.Addr{Node: "10.1.0.4", Port: 5060},
+	})
+	if _, ok := r.Resolve(query("erin@voicehoc.ch", true)); ok {
+		t.Fatal("overlay resolver returned its own proxy as next hop")
 	}
 }
 

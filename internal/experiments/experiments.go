@@ -36,6 +36,7 @@ func All() []Experiment {
 		{"E11", "Scalability with network size", "§4/§6 future work", E11},
 		{"E12", "Call success under mobility", "MANET premise of the title", E12},
 		{"E13", "Multi-MANET federation over a sharded provider tier", "beyond the paper; ROADMAP north star", E13},
+		{"E14", "Resolver backends: MANET SLP vs provider tier vs P2P overlay", "§5 related work; ROADMAP item 3", E14},
 	}
 	sort.Slice(exps, func(i, j int) bool {
 		a, b := exps[i].ID, exps[j].ID

@@ -10,10 +10,10 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 13 {
-		t.Fatalf("registry has %d experiments, want 13", len(all))
+	if len(all) != 14 {
+		t.Fatalf("registry has %d experiments, want 14", len(all))
 	}
-	if all[0].ID != "E1" || all[len(all)-1].ID != "E13" {
+	if all[0].ID != "E1" || all[len(all)-1].ID != "E14" {
 		t.Fatalf("ordering: first=%s last=%s", all[0].ID, all[len(all)-1].ID)
 	}
 	for _, e := range all {

@@ -55,6 +55,14 @@ type Config struct {
 	// Federation tests and scenarios share one fake clock across every
 	// island MANET and the Internet for deterministic schedules.
 	Clock clock.Clock
+	// EventLoop delivers frames inline on sharded delivery workers instead
+	// of one dispatch goroutine per host — the same event-loop core the
+	// MANET medium grew in the scheduler PR. Overlay fleets use this so
+	// goroutine count stays O(shards) no matter how many DHT nodes join.
+	EventLoop bool
+	// Shards bounds the event-loop worker count (0 = GOMAXPROCS). Only
+	// meaningful with EventLoop.
+	Shards int
 }
 
 // New creates an empty Internet.
@@ -67,6 +75,8 @@ func New(cfg Config) *Internet {
 		BaseDelay: cfg.Delay,
 		Seed:      cfg.Seed,
 		Clock:     cfg.Clock,
+		EventLoop: cfg.EventLoop,
+		Shards:    cfg.Shards,
 	})
 	return &Internet{net: n}
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package overlay_test
+
+const raceEnabled = false

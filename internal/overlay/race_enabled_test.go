@@ -1,0 +1,10 @@
+//go:build race
+
+package overlay_test
+
+// raceEnabled reports whether this test binary was built with -race. The
+// overlay tests run in virtual time, so the detector cannot make them flake
+// — but it multiplies their CPU cost several-fold, so the big seeded churn
+// run scales itself down to the -short sizes to keep `make check` bounded
+// on small hosts. The full-size run still executes in the plain test suite.
+const raceEnabled = true

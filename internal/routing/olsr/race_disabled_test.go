@@ -1,0 +1,5 @@
+//go:build !race
+
+package olsr
+
+const raceEnabled = false

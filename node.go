@@ -193,6 +193,13 @@ func (s *Scenario) newNode(id NodeID, pos Position, opts ...NodeOption) (*Node, 
 		// ramp. Nothing in the federation experiments tests expiry.
 		proxyCfg.BindingTTL = time.Hour
 	}
+	if s.overlay != nil {
+		// Third resolver backend: the P2P overlay registrar slots between
+		// the SLP cache and DNS, and every local registration is published
+		// into it (see core.ProxyConfig.Overlay).
+		proxyCfg.Overlay = s.overlay
+		proxyCfg.OverlayTimeout = scaleDur(2*time.Second, s.cfg.TimeScale)
+	}
 	n.proxy = core.NewProxy(host, n.agent, n.connp, proxyCfg)
 	if err := n.proxy.Start(); err != nil {
 		cleanup()

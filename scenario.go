@@ -115,12 +115,13 @@ type ScenarioOption func(*scenarioBuild)
 // scenarioBuild accumulates option state before the Scenario exists.
 type scenarioBuild struct {
 	cfg       ScenarioConfig
-	pacer     *rtp.Pacer         // shared external pacer (not closed by Scenario.Close)
-	inet      *internet.Internet // shared external Internet (not closed by Scenario.Close)
-	obs       *obs.Observer      // shared external observer
-	prefix    string             // federation: the island's address prefix ("10.2.0")
-	trunk     bool               // enable gateway trunk multiplexing
-	faultSeed *int64             // attach a deterministic fault plan
+	pacer     *rtp.Pacer            // shared external pacer (not closed by Scenario.Close)
+	inet      *internet.Internet    // shared external Internet (not closed by Scenario.Close)
+	obs       *obs.Observer         // shared external observer
+	prefix    string                // federation: the island's address prefix ("10.2.0")
+	trunk     bool                  // enable gateway trunk multiplexing
+	faultSeed *int64                // attach a deterministic fault plan
+	overlay   core.OverlayDirectory // P2P overlay registrar shared by the scenario's proxies
 }
 
 // WithRadio tunes the MANET medium (range, delay, loss, seed).
@@ -199,6 +200,17 @@ func WithTrunking() ScenarioOption {
 	return func(b *scenarioBuild) { b.trunk = true }
 }
 
+// WithOverlayDirectory hands every proxy in the scenario a P2P overlay
+// registrar (the Kademlia DHT of internal/overlay) as a third resolver
+// backend: the proxy publishes its registrations into the overlay and, when
+// attached, resolves AORs that miss the MANET SLP cache through it before
+// falling back to DNS. The usual deployment is a passive overlay client
+// (overlay.Config.Passive) shared by an island's proxies; the scenario does
+// not close the directory — its owner does.
+func WithOverlayDirectory(dir core.OverlayDirectory) ScenarioOption {
+	return func(b *scenarioBuild) { b.overlay = dir }
+}
+
 // WithFaultPlan attaches a deterministic, seeded fault plan to the scenario;
 // retrieve the harness with Scenario.Faults(). This replaces wrapping the
 // scenario in NewFaultScenario by hand and composes with WithFederation.
@@ -242,10 +254,11 @@ type Scenario struct {
 	inet  *internet.Internet
 	pacer *rtp.Pacer // shared by every phone's media sessions
 
-	ownInet  bool   // close inet on Close (false for federation islands)
-	ownPacer bool   // close pacer on Close (false when shared)
-	prefix   string // federation island address prefix ("" = standalone)
-	trunk    bool   // gateway nodes run trunk multiplexing
+	ownInet  bool                  // close inet on Close (false for federation islands)
+	ownPacer bool                  // close pacer on Close (false when shared)
+	prefix   string                // federation island address prefix ("" = standalone)
+	trunk    bool                  // gateway nodes run trunk multiplexing
+	overlay  core.OverlayDirectory // shared overlay registrar (not closed here)
 	faults   *FaultScenario
 
 	mu         sync.Mutex
@@ -286,14 +299,15 @@ func NewScenarioWith(opts ...ScenarioOption) (*Scenario, error) {
 		sched = clock.NewScheduler(cfg.Clock, cfg.Shards)
 	}
 	s := &Scenario{
-		cfg:    cfg,
-		clk:    cfg.Clock,
-		obs:    observer,
-		sched:  sched,
-		net:    netem.NewNetwork(radio),
-		prefix: b.prefix,
-		trunk:  b.trunk,
-		nodes:  make(map[netem.NodeID]*Node),
+		cfg:     cfg,
+		clk:     cfg.Clock,
+		obs:     observer,
+		sched:   sched,
+		net:     netem.NewNetwork(radio),
+		prefix:  b.prefix,
+		trunk:   b.trunk,
+		overlay: b.overlay,
+		nodes:   make(map[netem.NodeID]*Node),
 	}
 	if b.pacer != nil {
 		s.pacer = b.pacer
