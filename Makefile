@@ -70,15 +70,20 @@ fed:
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
-# CPU + heap profile of the control-plane scale study; prints the top-10
-# flat CPU and allocation sites (the summary lives in EXPERIMENTS.md,
-# "Control-plane scale — before/after" — refresh it from this output when
-# the core changes).
+# CPU + heap profile of the control-plane scale study. The top-10 flat CPU
+# and allocation sites are written to PROFILE_scale.txt.new, diffed against
+# the committed PROFILE_scale.txt (cmd/profdelta prints per-function flat%
+# deltas and entries that joined or left each top-10 — informational, never
+# fails the build), then promoted. Commit the refreshed summary alongside
+# the change that moved it, and mirror it into EXPERIMENTS.md
+# ("Control-plane scale — before/after") when the core changes.
 profile:
 	$(GO) test -run '^$$' -bench 'ControlScale' -benchtime 1x -timeout 20m \
 		-cpuprofile cpu.pprof -memprofile mem.pprof -o siphoc.test .
-	$(GO) tool pprof -top -nodecount=10 siphoc.test cpu.pprof
-	$(GO) tool pprof -top -nodecount=10 -sample_index=alloc_space siphoc.test mem.pprof
+	$(GO) tool pprof -top -nodecount=10 siphoc.test cpu.pprof | tee PROFILE_scale.txt.new
+	$(GO) tool pprof -top -nodecount=10 -sample_index=alloc_space siphoc.test mem.pprof | tee -a PROFILE_scale.txt.new
+	$(GO) run ./cmd/profdelta PROFILE_scale.txt PROFILE_scale.txt.new
+	mv PROFILE_scale.txt.new PROFILE_scale.txt
 
 # The full fault matrix under the race detector (deterministic replay,
 # scenario recovery invariants, golden recovery traces), then the gateway

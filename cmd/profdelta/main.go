@@ -1,0 +1,147 @@
+// Command profdelta diffs two `go tool pprof -top` summaries so profile
+// drift shows up in review, not after merge:
+//
+//	profdelta PROFILE_scale.txt PROFILE_scale.txt.new
+//
+// `make profile` writes the fresh flat-top-10 summary (CPU and alloc_space
+// sections) to PROFILE_scale.txt.new, runs this tool against the committed
+// PROFILE_scale.txt, then promotes the fresh file. The delta it prints —
+// per-function flat% changes, entries that joined or left each top-10 — is
+// informational: the committed summary's diff is the review artifact, and
+// the hard regression gate stays with cmd/benchcmp's guarded metrics. The
+// tool exits 0 unless its inputs are unreadable, so a first run with no
+// committed baseline still works (it reports every line as new).
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// entry is one pprof -top row: a function and its flat share of the profile.
+type entry struct {
+	name  string
+	flat  float64 // flat% as a number, e.g. 11.61
+	order int     // position within its section's top-N
+}
+
+// section is one `-top` table ("cpu", "alloc_space", ...), keyed by the
+// pprof Type: header that precedes it.
+type section struct {
+	kind    string
+	entries []entry
+}
+
+// parse splits a pprof -top text dump into sections of flat% rows. Rows look
+// like:
+//
+//	16.75s 11.61% 11.61%     19.25s 13.34%  runtime.findObject
+//	13902.32MB 61.08% 61.08% 13902.32MB 61.08%  olsr.(*Protocol).recomputeImpl
+//
+// i.e. five numeric columns (flat, flat%, sum%, cum, cum%) then the symbol.
+func parse(path string) ([]section, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var secs []section
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "Type:"); ok {
+			kind := strings.Fields(rest)
+			name := "?"
+			if len(kind) > 0 {
+				name = kind[0]
+			}
+			secs = append(secs, section{kind: name})
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 6 || !strings.HasSuffix(fields[1], "%") {
+			continue
+		}
+		flat, err := strconv.ParseFloat(strings.TrimSuffix(fields[1], "%"), 64)
+		if err != nil {
+			continue
+		}
+		if len(secs) == 0 {
+			secs = append(secs, section{kind: "?"})
+		}
+		s := &secs[len(secs)-1]
+		s.entries = append(s.entries, entry{
+			name:  strings.Join(fields[5:], " "),
+			flat:  flat,
+			order: len(s.entries),
+		})
+	}
+	return secs, sc.Err()
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: profdelta <committed.txt> <fresh.txt>")
+		os.Exit(2)
+	}
+	fresh, err := parse(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "profdelta:", err)
+		os.Exit(2)
+	}
+	committed, err := parse(os.Args[1])
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Printf("profdelta: no committed baseline at %s — every entry is new\n", os.Args[1])
+			committed = nil
+		} else {
+			fmt.Fprintln(os.Stderr, "profdelta:", err)
+			os.Exit(2)
+		}
+	}
+	base := make(map[string]map[string]entry) // section kind -> function -> entry
+	for _, s := range committed {
+		m := make(map[string]entry, len(s.entries))
+		for _, e := range s.entries {
+			m[e.name] = e
+		}
+		base[s.kind] = m
+	}
+	for _, s := range fresh {
+		old := base[s.kind]
+		fmt.Printf("— %s flat-top-%d vs committed —\n", s.kind, len(s.entries))
+		seen := make(map[string]bool, len(s.entries))
+		for _, e := range s.entries {
+			seen[e.name] = true
+			if oe, ok := old[e.name]; ok {
+				mark := " "
+				if e.flat > oe.flat+0.01 {
+					mark = "+"
+				} else if e.flat < oe.flat-0.01 {
+					mark = "-"
+				}
+				fmt.Printf("  %s %6.2f%% -> %6.2f%%  %s\n", mark, oe.flat, e.flat, e.name)
+			} else {
+				fmt.Printf("  * entered %6.2f%%  %s\n", e.flat, e.name)
+			}
+		}
+		for _, oe := range sortedByOrder(old) {
+			if !seen[oe.name] {
+				fmt.Printf("  · left   (was %5.2f%%)  %s\n", oe.flat, oe.name)
+			}
+		}
+	}
+}
+
+// sortedByOrder returns a section map's entries in their original top-N
+// order, so "left the top-10" lines print in a stable, meaningful order.
+func sortedByOrder(m map[string]entry) []entry {
+	out := make([]entry, len(m))
+	for _, e := range m {
+		out[e.order] = e
+	}
+	return out
+}

@@ -6,9 +6,8 @@
 package olsr
 
 import (
-	"container/heap"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -16,6 +15,7 @@ import (
 	"siphoc/internal/netem"
 	"siphoc/internal/obs"
 	"siphoc/internal/routing"
+	"siphoc/internal/wire"
 )
 
 // Config tunes protocol timing; the zero value is completed with RFC 3626
@@ -138,23 +138,31 @@ type Stats struct {
 	RecomputeSkipped int64
 }
 
+// linkState is one live link tuple, indexed by the neighbour's dense index.
+// Timestamps are int64 nanoseconds rather than time.Time so the whole links
+// slice is pointer-free: a time.Time carries a *Location the GC must chase,
+// and GC scanning of routing state is exactly what this core is built to
+// avoid.
 type linkState struct {
-	lastHeard time.Time
-	sym       bool
+	lastHeardNs int64
+	sym         bool
 }
 
-type topoVal struct {
-	ansn    uint16
-	expires time.Time
+// topoEdge is one TC-advertised out-edge of an origin: the MPR selector it
+// points at (dense index), the ANSN that advertised it and its expiry.
+// Pointer-free for the same reason as linkState.
+type topoEdge struct {
+	expiresNs int64
+	dest      uint32
+	ansn      uint16
 }
 
 type dupKey struct {
-	orig netem.NodeID
+	orig uint32 // dense index of the TC originator
 	seq  uint16
 }
 
 type dupVal struct {
-	at  time.Time
 	fwd bool // already retransmitted through the MPR backbone
 }
 
@@ -166,48 +174,99 @@ const dupHardCap = 8192
 
 // dupQItem pairs a duplicate-set key with its expiry for lazy heap pruning.
 type dupQItem struct {
-	key     dupKey
-	expires time.Time
+	key       dupKey
+	expiresNs int64
 }
 
-// dupHeap is a min-heap on expires. Keys are pushed exactly once (a dupKey
+// dupHeap is a min-heap on expiresNs. Keys are pushed exactly once (a dupKey
 // is inserted into the map exactly once), so each heap item maps to one map
-// entry and popping may delete unconditionally.
+// entry and popping may delete unconditionally. The heap is hand-rolled
+// rather than container/heap because the interface-based API boxes every
+// pushed item — an allocation per received TC on what must be a zero-alloc
+// steady-state path.
 type dupHeap []dupQItem
 
-func (h dupHeap) Len() int           { return len(h) }
-func (h dupHeap) Less(i, j int) bool { return h[i].expires.Before(h[j].expires) }
-func (h dupHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *dupHeap) Push(x any)        { *h = append(*h, x.(dupQItem)) }
-func (h *dupHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+func (h *dupHeap) push(it dupQItem) {
+	q := append(*h, it)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q[parent].expiresNs <= q[i].expiresNs {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	*h = q
+}
+
+func (h *dupHeap) pop() dupQItem {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	*h = q[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && q[l].expiresNs < q[s].expiresNs {
+			s = l
+		}
+		if r < n && q[r].expiresNs < q[s].expiresNs {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		q[i], q[s] = q[s], q[i]
+		i = s
+	}
+	return top
 }
 
 // Protocol is an OLSR instance bound to one host.
+//
+// All hot routing state is dense: node IDs are interned to uint32 indices
+// (append-only, per instance) and the per-node stores are slices and bitsets
+// indexed by them. The previous string-keyed maps made the steady-state cost
+// of this protocol GC scanning plus map iteration — at 1024 nodes the
+// profile's top lines were runtime.findObject/scanobject and
+// maps.(*Iter).Next, not protocol work. Slices of pointer-free structs are
+// invisible to the GC, iterate at memory bandwidth in deterministic order,
+// and never rehash.
 type Protocol struct {
 	host *netem.Host
 	cfg  Config
 	clk  clock.Clock
 
-	mu        sync.Mutex
-	links     map[netem.NodeID]*linkState
-	twoHop    map[netem.NodeID]map[netem.NodeID]bool // sym neighbour -> its sym neighbours
-	mprs      map[netem.NodeID]bool                  // our chosen MPRs
-	selectors map[netem.NodeID]time.Time             // neighbours that chose us as MPR
-	// topology holds TC-advertised edges indexed by advertising node
-	// ("last hop") then MPR selector, so the per-TC stale-ANSN purge
-	// touches only that origin's out-edges — a flat map keyed by
-	// (last,dest) made every TC arrival an O(total edges) sweep, which
-	// at 1024 nodes was the single largest CPU sink in the system.
-	topology map[netem.NodeID]map[netem.NodeID]topoVal
-	dups     map[dupKey]dupVal
-	dupQ     dupHeap // expiry order over dups, for lazy pruning
-	seq      uint16
-	ansn     uint16
+	mu      sync.Mutex
+	nodes   *nodeIndex  // NodeID <-> dense index; self is index 0
+	links   []linkState // by dense index; live entries marked in linkSet
+	linkSet bitset      // indices with a live link tuple
+	twoHop  []bitset    // hello sender -> its advertised symmetric neighbourhood
+	mprSet  bitset      // our chosen MPRs
+	selSet  bitset      // neighbours that chose us as MPR
+	selExp  []int64     // selector expiry (ns), valid where selSet is set
+	// topo holds TC-advertised edges indexed by advertising node ("last
+	// hop") then MPR selector, so the per-TC stale-ANSN purge touches only
+	// that origin's out-edges — a flat map keyed by (last,dest) made every
+	// TC arrival an O(total edges) sweep, which at 1024 nodes was the
+	// single largest CPU sink in the system. Out-edge lists are small (the
+	// origin's selector set), so linear scans beat any per-origin map.
+	topo    [][]topoEdge
+	topoSet bitset // origins with at least one stored edge
+	dups    map[dupKey]dupVal
+	dupQ    dupHeap // expiry order over dups, for lazy pruning
+	seq     uint16
+	ansn    uint16
+	scratch recomputeScratch // pooled recompute working memory, under mu
+	// Pooled emission scratch: sendHello/sendTC rebuild these in place
+	// every beat instead of minting fresh slices.
+	helloNbs []HelloNeighbor
+	helloIdx []uint32
+	tcSels   []netem.NodeID
+	tcIdx    []uint32 // received-TC selector indices, pooled like helloIdx
 	// Fisheye state: tcCount decimates far floods, farPhase staggers this
 	// node's full-flood rounds against its peers', selHash/selInit detect
 	// selector-set changes (order-independent set hash) for ANSN advance.
@@ -245,27 +304,50 @@ var _ routing.Protocol = (*Protocol)(nil)
 func New(host *netem.Host, cfg Config) *Protocol {
 	cfg = cfg.withDefaults()
 	p := &Protocol{
-		host:      host,
-		cfg:       cfg,
-		clk:       cfg.Clock,
-		links:     make(map[netem.NodeID]*linkState),
-		twoHop:    make(map[netem.NodeID]map[netem.NodeID]bool),
-		mprs:      make(map[netem.NodeID]bool),
-		selectors: make(map[netem.NodeID]time.Time),
-		topology:  make(map[netem.NodeID]map[netem.NodeID]topoVal),
-		dups:      make(map[dupKey]dupVal),
-		table:     routing.NewTable(),
-		stop:      make(chan struct{}),
+		host:  host,
+		cfg:   cfg,
+		clk:   cfg.Clock,
+		nodes: newNodeIndex(),
+		dups:  make(map[dupKey]dupVal),
+		table: routing.NewTable(),
+		stop:  make(chan struct{}),
 	}
+	// Self is always dense index 0: HELLO/TC processing and the BFS skip it
+	// by integer compare.
+	p.nodes.intern(host.ID())
+	p.growTo(1)
 	// Spread this node's full-TTL fisheye rounds against its peers' by
 	// hashing its own ID: nodes brought up together would otherwise emit
 	// their far floods in lockstep every FisheyeFarEvery-th round.
-	p.farPhase = hashEdge(hashSel, host.ID(), "") % uint64(cfg.FisheyeFarEvery)
+	p.farPhase = phaseHash(host.ID()) % uint64(cfg.FisheyeFarEvery)
 	if cfg.Obs.Enabled() {
 		p.obs = cfg.Obs
 		p.obsDelay = cfg.Obs.Histogram("olsr.routewait.delay", nil)
 	}
 	return p
+}
+
+// selfIdx is the dense index of this node's own ID, interned first in New.
+const selfIdx uint32 = 0
+
+// growTo extends every dense-indexed store to cover n interned nodes. Called
+// under p.mu after interning; append-only growth means indices never move.
+func (p *Protocol) growTo(n int) {
+	for len(p.links) < n {
+		p.links = append(p.links, linkState{})
+	}
+	for len(p.twoHop) < n {
+		p.twoHop = append(p.twoHop, nil)
+	}
+	for len(p.selExp) < n {
+		p.selExp = append(p.selExp, 0)
+	}
+	for len(p.topo) < n {
+		p.topo = append(p.topo, nil)
+	}
+	p.linkSet.grow(n)
+	p.selSet.grow(n)
+	p.topoSet.grow(n)
 }
 
 // Name implements routing.Protocol.
@@ -452,10 +534,10 @@ func (p *Protocol) requestRouteSched(dst netem.NodeID, done func(bool)) {
 func (p *Protocol) MPRs() []netem.NodeID {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	out := make([]netem.NodeID, 0, len(p.mprs))
-	for id := range p.mprs {
-		out = append(out, id)
-	}
+	out := make([]netem.NodeID, 0, p.mprSet.count())
+	p.mprSet.forEach(func(i uint32) {
+		out = append(out, p.nodes.ids[i])
+	})
 	return out
 }
 
@@ -481,8 +563,8 @@ func (p *Protocol) sendControl(kind uint8, body []byte) {
 }
 
 func (p *Protocol) onFrame(f netem.Frame) {
-	env, err := routing.ParseEnvelope(f.Payload)
-	if err != nil || env.Proto != routing.ProtoOLSR {
+	var env routing.Envelope
+	if err := routing.ParseEnvelopeInto(&env, f.Payload); err != nil || env.Proto != routing.ProtoOLSR {
 		return
 	}
 	if len(env.Ext) > 0 {
@@ -499,78 +581,118 @@ func (p *Protocol) onFrame(f netem.Frame) {
 			})
 		}
 	}
+	// Bodies are handled straight off the wire bytes (handleHello/handleTC)
+	// rather than through ParseHello/ParseTC: a converged grid's receive
+	// rate is degree×HELLO plus the TC flood, and decoding each copy into a
+	// fresh message struct with one string per node reference made the parse
+	// path the system's largest steady-state allocation site.
 	switch env.Kind {
 	case KindHello:
-		if m, err := ParseHello(env.Body); err == nil {
-			p.onHello(f.Src, m)
-		}
+		p.handleHello(f.Src, env.Body)
 	case KindTC:
-		if m, err := ParseTC(env.Body); err == nil {
-			p.onTC(f.Src, m)
-		}
+		p.handleTC(f.Src, env.Body)
 	}
 }
 
+// onHello feeds a decoded HELLO through the wire path; tests drive the
+// protocol with message structs, the frame handler with raw bodies.
 func (p *Protocol) onHello(from netem.NodeID, m *Hello) {
-	now := p.clk.Now()
-	self := p.host.ID()
+	p.handleHello(from, m.Marshal())
+}
+
+// handleHello processes a HELLO body straight off the wire. Node references
+// are resolved against the interner by raw bytes, so a steady-state arrival
+// (all nodes known, advertised neighbourhood unchanged) performs zero
+// allocations — no message struct, no per-neighbour string.
+func (p *Protocol) handleHello(from netem.NodeID, body []byte) {
+	// Validate the framing before touching state: the streaming walk below
+	// mutates as it reads, and a truncated HELLO must stay a no-op, exactly
+	// as when ParseHello rejected it up front.
+	v := wire.NewReader(body)
+	n := int(v.U16())
+	for range n {
+		v.StringBytes()
+		v.U8()
+		v.U8()
+	}
+	if v.Err() != nil {
+		return
+	}
+	nowNs := p.clk.Now().UnixNano()
+	self := string(p.host.ID())
 	p.mu.Lock()
+	fi := p.nodes.intern(from)
+	p.growTo(p.nodes.len())
 	changed := false
-	ls, ok := p.links[from]
-	if !ok {
-		ls = &linkState{}
-		p.links[from] = ls
+	if !p.linkSet.has(fi) {
+		p.linkSet.set(fi)
+		p.links[fi] = linkState{}
 		changed = true
 	}
-	ls.lastHeard = now
-	// The link is symmetric once the neighbour lists us in its HELLO.
+	p.links[fi].lastHeardNs = nowNs
+	// One walk does link sensing and change detection: the link is
+	// symmetric once the neighbour lists us, and the advertised symmetric
+	// neighbourhood is compared against the stored 2-hop bitset
+	// (lookup-only, no interning) so an unchanged arrival rebuilds nothing
+	// and schedules no recompute.
 	sym := false
-	for _, nb := range m.Neighbors {
-		if nb.Addr == self {
-			sym = true
-			if nb.MPR {
-				p.selectors[from] = now.Add(p.cfg.NeighborHold)
-			}
-		}
-	}
-	if sym != ls.sym {
-		ls.sym = sym
-		changed = true
-	}
-	// Record the neighbour's symmetric neighbourhood for MPR selection.
-	// Steady-state HELLOs re-advertise the same set: compare against the
-	// stored 2-hop set first and only rebuild (and mark the state dirty)
-	// on a real change, so an unchanged arrival allocates nothing and
-	// schedules no recompute.
-	old := p.twoHop[from]
+	old := p.twoHop[fi]
 	matched := 0
 	same := true
-	for _, nb := range m.Neighbors {
-		if nb.Addr == self || nb.Link != LinkSym {
+	r := wire.NewReader(body)
+	r.U16()
+	for range n {
+		ab := r.StringBytes()
+		link := r.U8()
+		mpr := r.U8() == 1
+		if string(ab) == self {
+			sym = true
+			if mpr {
+				p.selSet.set(fi)
+				p.selExp[fi] = nowNs + int64(p.cfg.NeighborHold)
+			}
 			continue
 		}
-		if !old[nb.Addr] {
+		if link != LinkSym {
+			continue
+		}
+		ni, known := p.nodes.lookupBytes(ab)
+		if !known || !old.has(ni) {
 			same = false
-			break
+			continue
 		}
 		matched++
 	}
-	if same && matched != len(old) {
+	if same && matched != old.count() {
 		same = false
 	}
+	if sym != p.links[fi].sym {
+		p.links[fi].sym = sym
+		changed = true
+	}
 	if !same {
-		if old == nil {
-			old = make(map[netem.NodeID]bool, len(m.Neighbors))
-			p.twoHop[from] = old
-		} else {
-			clear(old)
-		}
-		for _, nb := range m.Neighbors {
-			if nb.Addr == self || nb.Link != LinkSym {
+		// Intern every advertised neighbour into scratch first: interning
+		// can grow the dense stores, so finish growth before re-reading
+		// p.twoHop[fi].
+		r = wire.NewReader(body)
+		r.U16()
+		p.helloIdx = p.helloIdx[:0]
+		for range n {
+			ab := r.StringBytes()
+			link := r.U8()
+			r.U8()
+			if string(ab) == self || link != LinkSym {
 				continue
 			}
-			old[nb.Addr] = true
+			p.helloIdx = append(p.helloIdx, p.nodes.internBytes(ab))
 		}
+		p.growTo(p.nodes.len())
+		set := p.twoHop[fi]
+		set.reset()
+		for _, ni := range p.helloIdx {
+			set.set(ni)
+		}
+		p.twoHop[fi] = set
 		changed = true
 	}
 	p.mu.Unlock()
@@ -579,13 +701,40 @@ func (p *Protocol) onHello(from netem.NodeID, m *Hello) {
 	}
 }
 
+// onTC feeds a decoded TC through the wire path; tests drive the protocol
+// with message structs, the frame handler with raw bodies.
 func (p *Protocol) onTC(from netem.NodeID, m *TC) {
-	now := p.clk.Now()
-	if m.Orig == p.host.ID() {
+	p.handleTC(from, m.Marshal())
+}
+
+// handleTC processes a TC body straight off the wire, mirroring handleHello:
+// origin and selectors resolve against the interner by raw bytes (zero
+// allocations once the nodes are known), and the MPR retransmission reuses
+// the received body with the TTL byte patched instead of re-marshalling.
+func (p *Protocol) handleTC(from netem.NodeID, body []byte) {
+	r := wire.NewReader(body)
+	origB := r.StringBytes()
+	seq := r.U16()
+	ansn := r.U16()
+	// Offset of the TTL byte within body: the forward path patches it in a
+	// copy of the received bytes rather than rebuilding the message.
+	ttlOff := 2 + len(origB) + 4
+	ttl := r.U8()
+	n := int(r.U16())
+	for range n {
+		r.StringBytes()
+	}
+	if r.Err() != nil {
+		return
+	}
+	nowNs := p.clk.Now().UnixNano()
+	if string(origB) == string(p.host.ID()) {
 		return
 	}
 	p.mu.Lock()
-	key := dupKey{m.Orig, m.Seq}
+	oi := p.nodes.internBytes(origB)
+	p.growTo(p.nodes.len())
+	key := dupKey{oi, seq}
 	dv, dup := p.dups[key]
 	// RFC 3626 duplicate handling: the tuples are processed once (first
 	// copy), but any copy may trigger the single retransmission — the
@@ -593,14 +742,14 @@ func (p *Protocol) onTC(from netem.NodeID, m *TC) {
 	// MPR while a later copy comes from one that did. Without the fwd flag
 	// the TC would then never be relayed here at all, and distant nodes
 	// would miss whole TC rounds.
-	_, isSelector := p.selectors[from]
-	doFwd := isSelector && m.TTL > 1 && !dv.fwd
+	fi, known := p.nodes.lookup(from)
+	isSelector := known && p.selSet.has(fi)
+	doFwd := isSelector && ttl > 1 && !dv.fwd
 	if dup && !doFwd {
 		p.mu.Unlock()
 		return
 	}
 	if !dup {
-		dv.at = now
 		// Dup entries only need to outlive the flood's flight time (plus
 		// queueing slack under load), not the topology hold: holding them
 		// for TopologyHold made the set scale with hold×N and blow the
@@ -608,7 +757,7 @@ func (p *Protocol) onTC(from netem.NodeID, m *TC) {
 		// re-arriving copies into fresh re-forwards — a flood multiplier
 		// exactly when the network is busiest. Two TC intervals cover any
 		// copy still in flight by the time its seq is superseded.
-		heap.Push(&p.dupQ, dupQItem{key: key, expires: now.Add(2 * p.cfg.TCInterval)})
+		p.dupQ.push(dupQItem{key: key, expiresNs: nowNs + 2*int64(p.cfg.TCInterval)})
 	}
 	if doFwd {
 		dv.fwd = true
@@ -618,41 +767,71 @@ func (p *Protocol) onTC(from netem.NodeID, m *TC) {
 	// and under the hard cap keep evicting the soonest-to-expire so a
 	// 1024-node TC storm cannot grow the set without bound. O(evicted log n)
 	// instead of the old full-map sweep.
-	for len(p.dupQ) > 0 && (now.After(p.dupQ[0].expires) || len(p.dups) > dupHardCap) {
-		it := heap.Pop(&p.dupQ).(dupQItem)
+	for len(p.dupQ) > 0 && (nowNs > p.dupQ[0].expiresNs || len(p.dups) > dupHardCap) {
+		it := p.dupQ.pop()
 		delete(p.dups, it.key)
 	}
 	// Install/refresh the advertised tuples first, then purge whatever the
 	// new ANSN no longer advertises. Only an edge appearing or vanishing
 	// dirties the route state; a periodic TC re-advertising the same
-	// selector set merely refreshes expiries and schedules nothing.
+	// selector set merely refreshes expiries and schedules nothing. The
+	// out-edge list is the origin's selector set — a handful of entries —
+	// so the membership scan is a short linear walk over a pointer-free
+	// slice, cheaper than any map it could be replaced with.
 	changed := false
 	if !dup {
-		tm := p.topology[m.Orig]
-		if tm == nil {
-			tm = make(map[netem.NodeID]topoVal, len(m.Selectors))
-			p.topology[m.Orig] = tm
+		// Re-walk the selector list off the wire bytes, interning into the
+		// pooled index scratch; known selectors cost a map probe each.
+		r = wire.NewReader(body)
+		r.StringBytes()
+		r.U16()
+		r.U16()
+		r.U8()
+		r.U16()
+		p.tcIdx = p.tcIdx[:0]
+		for range n {
+			p.tcIdx = append(p.tcIdx, p.nodes.internBytes(r.StringBytes()))
 		}
-		for _, sel := range m.Selectors {
-			if cur, ok := tm[sel]; !ok || !ansnOlder(m.ANSN, cur.ansn) {
+		p.growTo(p.nodes.len())
+		edges := p.topo[oi]
+		expNs := nowNs + int64(p.cfg.TopologyHold)
+		for _, si := range p.tcIdx {
+			k := 0
+			for ; k < len(edges); k++ {
+				if edges[k].dest == si {
+					break
+				}
+			}
+			if k == len(edges) {
+				edges = append(edges, topoEdge{dest: si, ansn: ansn, expiresNs: expNs})
+				changed = true
+				continue
+			}
+			if !ansnOlder(ansn, edges[k].ansn) {
 				// A refresh of a tuple that already time-expired is a
 				// real change: rebuilds between expiry and this refresh
 				// excluded the edge, so reviving it must dirty the route
-				// state even though the key never left the map.
-				if !ok || now.After(cur.expires) {
+				// state even though the edge never left the store.
+				if nowNs > edges[k].expiresNs {
 					changed = true
 				}
-				tm[sel] = topoVal{ansn: m.ANSN, expires: now.Add(p.cfg.TopologyHold)}
+				edges[k].ansn = ansn
+				edges[k].expiresNs = expNs
 			}
 		}
-		for dest, v := range tm {
-			if ansnOlder(v.ansn, m.ANSN) {
-				delete(tm, dest)
+		kept := edges[:0]
+		for k := range edges {
+			if ansnOlder(edges[k].ansn, ansn) {
 				changed = true
+				continue
 			}
+			kept = append(kept, edges[k])
 		}
-		if len(tm) == 0 {
-			delete(p.topology, m.Orig)
+		p.topo[oi] = kept
+		if len(kept) == 0 {
+			p.topoSet.unset(oi)
+		} else {
+			p.topoSet.set(oi)
 		}
 	}
 	p.mu.Unlock()
@@ -661,12 +840,16 @@ func (p *Protocol) onTC(from netem.NodeID, m *TC) {
 	}
 
 	if doFwd {
-		fwd := *m
-		fwd.TTL--
+		// Retransmit the received bytes with the TTL decremented in place —
+		// the one copy is needed because the outgoing frame outlives this
+		// handler while body aliases the incoming frame's payload.
+		fwd := make([]byte, len(body))
+		copy(fwd, body)
+		fwd[ttlOff]--
 		p.mu.Lock()
 		p.stats.TCFwd++
 		p.mu.Unlock()
-		p.sendControl(KindTC, fwd.Marshal())
+		p.sendControl(KindTC, fwd)
 	}
 }
 
@@ -692,21 +875,23 @@ func (p *Protocol) helloLoop() {
 
 func (p *Protocol) sendHello() {
 	p.mu.Lock()
-	m := &Hello{}
-	for nb, ls := range p.links {
+	p.helloNbs = p.helloNbs[:0]
+	p.linkSet.forEach(func(i uint32) {
 		link := LinkAsym
-		if ls.sym {
+		if p.links[i].sym {
 			link = LinkSym
 		}
-		m.Neighbors = append(m.Neighbors, HelloNeighbor{
-			Addr: nb,
+		p.helloNbs = append(p.helloNbs, HelloNeighbor{
+			Addr: p.nodes.ids[i],
 			Link: link,
-			MPR:  p.mprs[nb],
+			MPR:  p.mprSet.has(i),
 		})
-	}
+	})
+	m := Hello{Neighbors: p.helloNbs}
+	body := m.Marshal() // under mu: Neighbors aliases pooled scratch
 	p.stats.HelloSent++
 	p.mu.Unlock()
-	p.sendControl(KindHello, m.Marshal())
+	p.sendControl(KindHello, body)
 }
 
 func (p *Protocol) tcLoop() {
@@ -725,15 +910,19 @@ func (p *Protocol) tcLoop() {
 
 func (p *Protocol) sendTC() {
 	p.mu.Lock()
-	if len(p.selectors) == 0 {
+	if p.selSet.empty() {
 		p.mu.Unlock()
 		return // only MPRs advertise topology
 	}
 	p.seq++
-	m := &TC{Orig: p.host.ID(), Seq: p.seq, TTL: p.cfg.MaxTTL}
-	for sel := range p.selectors {
-		m.Selectors = append(m.Selectors, sel)
-	}
+	m := TC{Orig: p.host.ID(), Seq: p.seq, TTL: p.cfg.MaxTTL}
+	p.tcSels = p.tcSels[:0]
+	var selHash uint64
+	p.selSet.forEach(func(i uint32) {
+		p.tcSels = append(p.tcSels, p.nodes.ids[i])
+		selHash += mix64(hashSel, i, 0)
+	})
+	m.Selectors = p.tcSels
 	if p.cfg.Fisheye {
 		// ANSN advances only when the advertised set actually changes (the
 		// RFC 3626 rule). Receivers then refresh expiries from decimated
@@ -743,13 +932,9 @@ func (p *Protocol) sendTC() {
 		// that boost network-wide — a self-amplifying forward storm (load
 		// delays HELLOs, links flap, every flap re-arms full floods). Far
 		// zones instead pick up changes at the staggered far cadence.
-		var h uint64
-		for sel := range p.selectors {
-			h += hashEdge(hashSel, sel, "")
-		}
-		if !p.selInit || h != p.selHash {
+		if !p.selInit || selHash != p.selHash {
 			p.selInit = true
-			p.selHash = h
+			p.selHash = selHash
 			p.ansn++
 		}
 		p.tcCount++
@@ -760,39 +945,46 @@ func (p *Protocol) sendTC() {
 		p.ansn++
 	}
 	m.ANSN = p.ansn
+	body := m.Marshal() // under mu: Selectors aliases pooled scratch
 	p.stats.TCSent++
 	p.mu.Unlock()
-	p.sendControl(KindTC, m.Marshal())
+	p.sendControl(KindTC, body)
 }
 
 // expire drops stale links, selectors and topology tuples.
 func (p *Protocol) expire() {
-	now := p.clk.Now()
+	nowNs := p.clk.Now().UnixNano()
+	holdNs := int64(p.cfg.NeighborHold)
 	changed := false
 	p.mu.Lock()
-	for nb, ls := range p.links {
-		if now.Sub(ls.lastHeard) > p.cfg.NeighborHold {
-			delete(p.links, nb)
-			delete(p.twoHop, nb)
+	p.linkSet.forEach(func(i uint32) {
+		if nowNs-p.links[i].lastHeardNs > holdNs {
+			p.linkSet.unset(i)
+			p.links[i] = linkState{}
+			p.twoHop[i].reset()
 			changed = true
 		}
-	}
-	for nb, exp := range p.selectors {
-		if now.After(exp) {
-			delete(p.selectors, nb)
+	})
+	p.selSet.forEach(func(i uint32) {
+		if nowNs > p.selExp[i] {
+			p.selSet.unset(i)
 		}
-	}
-	for orig, tm := range p.topology {
-		for dest, v := range tm {
-			if now.After(v.expires) {
-				delete(tm, dest)
+	})
+	p.topoSet.forEach(func(oi uint32) {
+		edges := p.topo[oi]
+		kept := edges[:0]
+		for k := range edges {
+			if nowNs > edges[k].expiresNs {
 				changed = true
+				continue
 			}
+			kept = append(kept, edges[k])
 		}
-		if len(tm) == 0 {
-			delete(p.topology, orig)
+		p.topo[oi] = kept
+		if len(kept) == 0 {
+			p.topoSet.unset(oi)
 		}
-	}
+	})
 	p.mu.Unlock()
 	if changed {
 		p.recompute()
@@ -867,31 +1059,29 @@ func (p *Protocol) scheduleRecompute() {
 	}()
 }
 
-// hashEdge folds one link-state element into the order-independent input
-// hash: a per-element FNV-1a digest, summed so the combined value does not
-// depend on map iteration order.
-func hashEdge(kind byte, a, b netem.NodeID) uint64 {
+// phaseHash is an FNV-1a digest of a node ID, used once at construction to
+// stagger this node's fisheye far-flood phase against its peers'. (It
+// reproduces the digest the retired string-keyed hashEdge produced for the
+// same input, so committed far-flood schedules — and the benchmarks shaped
+// by them — carry over unchanged.)
+func phaseHash(id netem.NodeID) uint64 {
 	const (
 		offset = 14695981039346656037
 		prime  = 1099511628211
 	)
 	h := uint64(offset)
-	h ^= uint64(kind)
+	h ^= uint64(hashSel)
 	h *= prime
-	for i := 0; i < len(a); i++ {
-		h ^= uint64(a[i])
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
 		h *= prime
 	}
-	h ^= 0xff // separator so ("ab","c") and ("a","bc") differ
+	h ^= 0xff
 	h *= prime
-	for i := 0; i < len(b); i++ {
-		h ^= uint64(b[i])
-		h *= prime
-	}
 	return h
 }
 
-// Element kinds for hashEdge.
+// Element kinds for mix64.
 const (
 	hashLink byte = 1 // symmetric 1-hop link
 	hashTwo  byte = 2 // 2-hop edge (neighbour -> its neighbour)
@@ -902,27 +1092,27 @@ const (
 // inputHashLocked digests everything the MPR selection and BFS read: the
 // symmetric link set, the 2-hop sets and the live topology edges. Expiry
 // timestamps are deliberately excluded — refreshes that keep the same edge
-// set do not change the computed routes.
-func (p *Protocol) inputHashLocked(now time.Time) uint64 {
+// set do not change the computed routes. Dense indices are append-only per
+// instance, so index-based element hashes stay comparable across the
+// instance's lifetime.
+func (p *Protocol) inputHashLocked(nowNs int64) uint64 {
 	var h uint64
-	for nb, ls := range p.links {
-		if ls.sym {
-			h += hashEdge(hashLink, nb, "")
+	p.linkSet.forEach(func(i uint32) {
+		if p.links[i].sym {
+			h += mix64(hashLink, i, 0)
 		}
-	}
-	for nb, set := range p.twoHop {
-		for two := range set {
-			h += hashEdge(hashTwo, nb, two)
-		}
-	}
-	for orig, tm := range p.topology {
-		for dest, v := range tm {
-			if now.After(v.expires) {
+		p.twoHop[i].forEach(func(two uint32) {
+			h += mix64(hashTwo, i, two)
+		})
+	})
+	p.topoSet.forEach(func(oi uint32) {
+		for _, e := range p.topo[oi] {
+			if nowNs > e.expiresNs {
 				continue
 			}
-			h += hashEdge(hashTopo, orig, dest)
+			h += mix64(hashTopo, oi, e.dest)
 		}
-	}
+	})
 	return h
 }
 
@@ -937,13 +1127,15 @@ func (p *Protocol) recomputeFull() { p.recomputeImpl(true) }
 
 // recomputeImpl reselects MPRs and rebuilds the route table (greedy MPR
 // cover + BFS shortest paths over 1-hop links and TC-advertised edges). The
-// traversal is deterministic — neighbour lists are expanded in sorted order —
-// so identical inputs always produce a bit-identical table.
+// traversal is deterministic — neighbour lists are expanded in lexical node
+// order (via the interner's rank table) — so identical inputs always produce
+// a bit-identical table. All working memory comes from the pooled scratch:
+// before pooling, this function plus Table.Replace minted 77% of every byte
+// the 1024-node scale study allocated.
 func (p *Protocol) recomputeImpl(force bool) {
-	self := p.host.ID()
-	now := p.clk.Now()
+	nowNs := p.clk.Now().UnixNano()
 	p.mu.Lock()
-	h := p.inputHashLocked(now)
+	h := p.inputHashLocked(nowNs)
 	if !force && h == p.stateHash {
 		p.stats.RecomputeSkipped++
 		p.mu.Unlock()
@@ -951,111 +1143,120 @@ func (p *Protocol) recomputeImpl(force bool) {
 	}
 	p.stateHash = h
 	p.stats.Recompute++
+	n := p.nodes.len()
+	s := &p.scratch
+	s.grow(n)
+	rank := p.nodes.rank
+
+	// Symmetric neighbours in lexical order: the BFS start order — and
+	// therefore next-hop tie-breaks between equal-length paths — matches
+	// the string-sorted traversal of the map-backed core bit for bit.
+	s.symNbs = s.symNbs[:0]
+	p.linkSet.forEach(func(i uint32) {
+		if p.links[i].sym {
+			s.symNbs = append(s.symNbs, i)
+		}
+	})
+	slices.SortFunc(s.symNbs, func(a, b uint32) int { return int(rank[a]) - int(rank[b]) })
+
 	// --- MPR selection: greedy cover of the 2-hop neighbourhood.
-	symNbs := make([]netem.NodeID, 0, len(p.links))
-	for nb, ls := range p.links {
-		if ls.sym {
-			symNbs = append(symNbs, nb)
-		}
-	}
-	uncovered := make(map[netem.NodeID]bool)
-	for _, nb := range symNbs {
-		for two := range p.twoHop[nb] {
-			if two == self {
-				continue
+	s.uncovered.reset()
+	for _, nb := range s.symNbs {
+		p.twoHop[nb].forEach(func(two uint32) {
+			if two == selfIdx {
+				return
 			}
-			if _, direct := p.links[two]; direct && p.links[two].sym {
-				continue // reachable in one hop anyway
+			if p.linkSet.has(two) && p.links[two].sym {
+				return // reachable in one hop anyway
 			}
-			uncovered[two] = true
-		}
+			s.uncovered.set(two)
+		})
 	}
-	mprs := make(map[netem.NodeID]bool)
-	for len(uncovered) > 0 {
-		var best netem.NodeID
+	s.mprNew.reset()
+	for !s.uncovered.empty() {
+		best := -1
 		bestCover := 0
-		for _, nb := range symNbs {
-			if mprs[nb] {
+		for _, nb := range s.symNbs {
+			if s.mprNew.has(nb) {
 				continue
 			}
-			cover := 0
-			for two := range p.twoHop[nb] {
-				if uncovered[two] {
-					cover++
-				}
-			}
-			if cover > bestCover || (cover == bestCover && cover > 0 && (best == "" || nb < best)) {
-				best, bestCover = nb, cover
+			cover := p.twoHop[nb].andCount(s.uncovered)
+			if cover > bestCover || (cover == bestCover && cover > 0 && (best < 0 || rank[nb] < rank[uint32(best)])) {
+				best, bestCover = int(nb), cover
 			}
 		}
 		if bestCover == 0 {
 			break // remaining 2-hop nodes are not coverable
 		}
-		mprs[best] = true
-		for two := range p.twoHop[best] {
-			delete(uncovered, two)
-		}
+		s.mprNew.set(uint32(best))
+		s.uncovered.andNot(p.twoHop[uint32(best)])
 	}
-	p.mprs = mprs
+	// Swap the freshly built set into place; the displaced one becomes next
+	// rebuild's scratch.
+	p.mprSet, s.mprNew = s.mprNew, p.mprSet
 
-	// --- Route computation: BFS over sym links + topology edges. The
-	// start set and every adjacency list are sorted so the traversal —
-	// and therefore next-hop tie-breaks between equal-length paths — is
-	// a pure function of the link-state inputs.
-	sort.Slice(symNbs, func(i, j int) bool { return symNbs[i] < symNbs[j] })
-	type hop struct {
-		next netem.NodeID
-		dist int
-	}
-	routes := make(map[netem.NodeID]hop, len(p.links)+len(p.topology))
-	queue := make([]netem.NodeID, 0, len(symNbs))
-	for _, nb := range symNbs {
-		routes[nb] = hop{next: nb, dist: 1}
-		queue = append(queue, nb)
+	// --- Route computation: BFS over sym links + topology edges, on dense
+	// arrays (dist doubles as the visited set; next is the first hop).
+	clear(s.dist[:n])
+	s.queue = s.queue[:0]
+	for _, nb := range s.symNbs {
+		s.dist[nb] = 1
+		s.next[nb] = nb
+		s.queue = append(s.queue, nb)
 	}
 	// Adjacency from TC tuples: last -> dest (treated as bidirectional,
-	// since a TC edge reflects a symmetric MPR-selector link).
-	adj := make(map[netem.NodeID][]netem.NodeID)
-	for orig, tm := range p.topology {
-		for dest, v := range tm {
-			if now.After(v.expires) {
+	// since a TC edge reflects a symmetric MPR-selector link). Lists are
+	// truncated in place and refilled — no per-rebuild minting.
+	for i := range s.adj[:n] {
+		s.adj[i] = s.adj[i][:0]
+	}
+	p.topoSet.forEach(func(oi uint32) {
+		for _, e := range p.topo[oi] {
+			if nowNs > e.expiresNs {
 				continue
 			}
-			adj[orig] = append(adj[orig], dest)
-			adj[dest] = append(adj[dest], orig)
+			s.adj[oi] = append(s.adj[oi], e.dest)
+			s.adj[e.dest] = append(s.adj[e.dest], oi)
 		}
-	}
+	})
 	// Also 2-hop sets give edges nb -> two.
-	for nb, set := range p.twoHop {
-		for two := range set {
-			adj[nb] = append(adj[nb], two)
+	p.linkSet.forEach(func(i uint32) {
+		p.twoHop[i].forEach(func(two uint32) {
+			s.adj[i] = append(s.adj[i], two)
+		})
+	})
+	for i := range s.adj[:n] {
+		if len(s.adj[i]) > 1 {
+			slices.SortFunc(s.adj[i], func(a, b uint32) int { return int(rank[a]) - int(rank[b]) })
 		}
 	}
-	for _, edges := range adj {
-		sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
-	}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		curHop := routes[cur]
-		for _, nxt := range adj[cur] {
-			if nxt == self {
+	for head := 0; head < len(s.queue); head++ {
+		cur := s.queue[head]
+		curNext, curDist := s.next[cur], s.dist[cur]
+		for _, nxt := range s.adj[cur] {
+			if nxt == selfIdx || s.dist[nxt] != 0 {
 				continue
 			}
-			if _, seen := routes[nxt]; seen {
-				continue
-			}
-			routes[nxt] = hop{next: curHop.next, dist: curHop.dist + 1}
-			queue = append(queue, nxt)
+			s.dist[nxt] = curDist + 1
+			s.next[nxt] = curNext
+			s.queue = append(s.queue, nxt)
 		}
 	}
-	entries := make([]routing.Entry, 0, len(routes))
-	for dst, h := range routes {
-		entries = append(entries, routing.Entry{Dst: dst, NextHop: h.next, Hops: h.dist})
+	s.entries = s.entries[:0]
+	for i := 0; i < n; i++ {
+		if s.dist[i] > 0 {
+			s.entries = append(s.entries, routing.Entry{
+				Dst:     p.nodes.ids[i],
+				NextHop: p.nodes.ids[s.next[i]],
+				Hops:    int(s.dist[i]),
+			})
+		}
 	}
 	// Replace under p.mu: with the hash gate, a stale table installed by a
 	// concurrent rebuild racing Replace outside the lock would persist
-	// (the next arrival would hash "unchanged" and skip the fix).
-	p.table.Replace(entries)
+	// (the next arrival would hash "unchanged" and skip the fix). Replace
+	// copies into its double-buffered map, so the pooled entries slice is
+	// free for reuse the moment it returns.
+	p.table.Replace(s.entries)
 	p.mu.Unlock()
 }

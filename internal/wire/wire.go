@@ -130,3 +130,12 @@ func (r *Reader) String() string {
 	}
 	return string(b)
 }
+
+// StringBytes reads a u16-length-prefixed string as a byte slice aliasing
+// the input — the zero-copy variant of String for hot receive paths that
+// only compare or look the value up (e.g. a byte-keyed map probe) and can
+// defer the string copy to the rare case where they keep it. Returns nil
+// on truncation, like all Reader methods.
+func (r *Reader) StringBytes() []byte {
+	return r.take(int(r.U16()))
+}

@@ -124,6 +124,12 @@ func runControlScalePoint(b *testing.B, side int) {
 	}
 	defer sc.Close()
 
+	// GC pressure is measured across the whole point (bring-up +
+	// convergence + steady window): that is where the routing core's
+	// allocation shape shows up as collector work.
+	var msStart runtime.MemStats
+	runtime.ReadMemStats(&msStart)
+
 	t0 := time.Now()
 	nodes, err := sc.Grid(side, side, 80, siphoc.WithoutConnectionProvider())
 	if err != nil {
@@ -144,12 +150,19 @@ func runControlScalePoint(b *testing.B, side int) {
 	}
 	convergence := time.Since(t1)
 
-	// Steady state: let trailing rebuilds drain for a couple of TC rounds,
-	// then measure a window. On a static converged grid every HELLO/TC is a
-	// pure refresh, so executed recomputes track topology changes (≈0), not
-	// message arrivals.
-	tc := controlScaleOLSR(side * side).TCInterval
-	time.Sleep(2 * tc)
+	// Steady state: drain a full fisheye far period plus slack before
+	// measuring. Corner-to-corner routes come up well before every node has
+	// heard every origin's staggered full-TTL flood, and each late far
+	// flood still delivers first-seen topology — genuine changes, not
+	// steady state. Only after one far period is every arrival a pure
+	// refresh and recomputes track topology changes (≈0), not messages.
+	cfg := controlScaleOLSR(side * side)
+	tc := cfg.TCInterval
+	drain := 2 * tc
+	if cfg.Fisheye {
+		drain += time.Duration(cfg.FisheyeFarEvery) * tc
+	}
+	time.Sleep(drain)
 	window := 2 * tc
 	recBefore := sumRecomputes(nodes)
 	var msBefore runtime.MemStats
@@ -165,6 +178,14 @@ func runControlScalePoint(b *testing.B, side int) {
 	b.ReportMetric(float64(convergence.Milliseconds()), "convergence_ms")
 	b.ReportMetric(float64(rec)/n, "recomputes/node")
 	b.ReportMetric(allocs/n/window.Seconds(), "allocs/node/s")
+	// Memory-pressure telemetry for BENCH_scale.json: live heap at the end
+	// of the steady window, plus collector cycles and stop-the-world pause
+	// accumulated over the whole point. These are what regress first when
+	// routing state grows GC-visible pointers or per-rebuild minting creeps
+	// back in — cmd/benchcmp guards them alongside convergence_ms.
+	b.ReportMetric(float64(msAfter.HeapAlloc)/(1<<20), "heap_alloc_mb")
+	b.ReportMetric(float64(msAfter.NumGC-msStart.NumGC), "gc_cycles")
+	b.ReportMetric(float64(msAfter.PauseTotalNs-msStart.PauseTotalNs)/1e6, "gc_pause_ms")
 }
 
 // TestControlScaleSmoke is the `make check` scale gate, now at the size
@@ -223,10 +244,16 @@ func TestControlScaleSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Drain trailing rebuilds, then require near-zero recomputes over a
-	// measurement window on the static converged grid.
+	// Drain trailing rebuilds — including one full fisheye far period, so
+	// late staggered full-TTL floods finish delivering first-seen topology
+	// — then require near-zero recomputes over a measurement window on the
+	// static converged grid.
 	tc := cfg.TCInterval
-	time.Sleep(2 * tc)
+	drain := 2 * tc
+	if cfg.Fisheye {
+		drain += time.Duration(cfg.FisheyeFarEvery) * tc
+	}
+	time.Sleep(drain)
 	before := sumRecomputes(nodes)
 	window := 2 * tc
 	time.Sleep(window)
